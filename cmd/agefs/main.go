@@ -1,0 +1,114 @@
+// Command agefs ages a simulated FFS by replaying a workload produced
+// by mkworkload (paper Section 3.2), reporting the aggregate layout
+// score per simulated day and optionally saving the aged image for the
+// benchmark tools.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ffsage/internal/aging"
+	"ffsage/internal/core"
+	"ffsage/internal/ffs"
+	"ffsage/internal/trace"
+)
+
+func main() {
+	var (
+		wlPath   = flag.String("workload", "workload.ffw", "workload file (binary or text)")
+		policy   = flag.String("policy", "realloc", "allocation policy: ffs or realloc")
+		imageOut = flag.String("image", "", "save the aged image here")
+		csvOut   = flag.String("csv", "", "write day,layout,utilization CSV here")
+		check    = flag.Int("check", 0, "run the consistency checker every N days (0 = off)")
+		quiet    = flag.Bool("q", false, "suppress per-day progress")
+	)
+	flag.Parse()
+	if err := run(*wlPath, *policy, *imageOut, *csvOut, *check, *quiet); err != nil {
+		fmt.Fprintln(os.Stderr, "agefs:", err)
+		os.Exit(1)
+	}
+}
+
+func pickPolicy(name string) (ffs.Policy, error) {
+	switch strings.ToLower(name) {
+	case "ffs", "orig", "original":
+		return core.Original{}, nil
+	case "realloc", "ffs+realloc":
+		return core.Realloc{}, nil
+	default:
+		return nil, fmt.Errorf("unknown policy %q (want ffs or realloc)", name)
+	}
+}
+
+func run(wlPath, policyName, imageOut, csvOut string, check int, quiet bool) error {
+	f, err := os.Open(wlPath)
+	if err != nil {
+		return err
+	}
+	wl, err := trace.ReadWorkload(f)
+	if err != nil {
+		// Retry as text.
+		if _, serr := f.Seek(0, 0); serr != nil {
+			f.Close()
+			return err
+		}
+		wl, err = trace.ReadWorkloadText(f)
+	}
+	f.Close()
+	if err != nil {
+		return fmt.Errorf("reading workload: %w", err)
+	}
+
+	policy, err := pickPolicy(policyName)
+	if err != nil {
+		return err
+	}
+	opts := aging.Options{CheckEvery: check}
+	if !quiet {
+		opts.Progress = func(day int, score, util float64) {
+			fmt.Printf("day %3d: layout %.3f  utilization %.2f\n", day+1, score, util)
+		}
+	}
+	res, err := aging.Replay(ffs.PaperParams(), policy, wl, opts)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("aged %d days under %s: final layout %.3f, utilization %.2f, %d files"+
+		" (%d ops skipped, %d for space)\n",
+		wl.Days, policy.Name(), res.LayoutByDay.Final(), res.UtilByDay.Final(),
+		res.Fs.FileCount(), res.SkippedOps, res.NoSpaceOps)
+
+	if csvOut != "" {
+		out, err := os.Create(csvOut)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, "day,layout,utilization")
+		for i := range res.LayoutByDay {
+			fmt.Fprintf(out, "%d,%.4f,%.4f\n",
+				res.LayoutByDay[i].Day+1, res.LayoutByDay[i].Value, res.UtilByDay[i].Value)
+		}
+		if err := out.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", csvOut)
+	}
+	if imageOut != "" {
+		out, err := os.Create(imageOut)
+		if err != nil {
+			return err
+		}
+		if err := res.Fs.SaveImage(out); err != nil {
+			out.Close()
+			return err
+		}
+		if err := out.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", imageOut)
+	}
+	return nil
+}

@@ -1,0 +1,83 @@
+// Command fsmap renders a saved file-system image's allocation maps as
+// ASCII art, one cylinder group at a time — the fastest way to *see*
+// what ten months of aging did to the free space:
+//
+//	M metadata   # fully allocated   + partially allocated   . free
+//
+// Long '#' runs are clustered files, '.' runs are the free pools the
+// realloc policy feeds on, and alternating '#.+.' bands are the crumb
+// fields the original policy chops new files across.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ffsage/internal/core"
+	"ffsage/internal/ffs"
+)
+
+func main() {
+	var (
+		imagePath = flag.String("image", "aged.img", "file-system image from agefs")
+		group     = flag.Int("cg", -1, "show only this cylinder group (-1 = all)")
+		cols      = flag.Int("w", 96, "blocks per output row")
+	)
+	flag.Parse()
+	if err := run(*imagePath, *group, *cols); err != nil {
+		fmt.Fprintln(os.Stderr, "fsmap:", err)
+		os.Exit(1)
+	}
+}
+
+func run(imagePath string, group, cols int) error {
+	if cols < 8 {
+		return fmt.Errorf("width %d too narrow", cols)
+	}
+	f, err := os.Open(imagePath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	fsys, err := ffs.LoadImage(f, core.Original{})
+	if err != nil {
+		return err
+	}
+	lo, hi := 0, fsys.NumCg()
+	if group >= 0 {
+		if group >= fsys.NumCg() {
+			return fmt.Errorf("cylinder group %d out of range [0,%d)", group, fsys.NumCg())
+		}
+		lo, hi = group, group+1
+	}
+	hist, freeBlocks := fsys.FreeRunHistogram()
+	fmt.Printf("%s: utilization %.1f%%, %d free blocks (runs 1:%d 2:%d 3-6:%d 7+:%d)\n",
+		imagePath, 100*fsys.Utilization(), freeBlocks,
+		hist[1], hist[2], hist[3]+hist[4]+hist[5]+hist[6], hist[7])
+	for cg := lo; cg < hi; cg++ {
+		m := fsys.BlockMap(cg)
+		free, partial := 0, 0
+		for _, s := range m {
+			switch s {
+			case ffs.BlockFree:
+				free++
+			case ffs.BlockPartial:
+				partial++
+			}
+		}
+		fmt.Printf("\ncg %2d: %d blocks, %d free, %d partial\n", cg, len(m), free, partial)
+		for row := 0; row < len(m); row += cols {
+			end := row + cols
+			if end > len(m) {
+				end = len(m)
+			}
+			line := make([]byte, end-row)
+			for i := row; i < end; i++ {
+				line[i-row] = byte(m[i])
+			}
+			fmt.Printf("  %5d %s\n", row, line)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,58 @@
+// Command hotbench runs the paper's hot-file benchmark (Section 5.2,
+// Table 2 and Figure 6) against a saved aged image: read and then
+// overwrite every file modified during the last month of aging,
+// reporting throughput, the set's layout score, and the by-size
+// breakdown.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ffsage/internal/bench"
+	"ffsage/internal/core"
+	"ffsage/internal/disk"
+	"ffsage/internal/ffs"
+)
+
+func main() {
+	var (
+		imagePath = flag.String("image", "aged.img", "file-system image from agefs")
+		fromDay   = flag.Int("fromday", 270, "hot set = files modified on/after this day")
+	)
+	flag.Parse()
+	if err := run(*imagePath, *fromDay); err != nil {
+		fmt.Fprintln(os.Stderr, "hotbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(imagePath string, fromDay int) error {
+	f, err := os.Open(imagePath)
+	if err != nil {
+		return err
+	}
+	fsys, err := ffs.LoadImage(f, core.Original{})
+	f.Close()
+	if err != nil {
+		return err
+	}
+	res, err := bench.HotFiles(fsys, disk.PaperParams(), fromDay)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("hot set: %d files (%.1f%% of files), %.1f MB (%.1f%% of bytes)\n",
+		res.NFiles, 100*res.FracFiles, float64(res.TotalBytes)/(1<<20), 100*res.FracBytes)
+	fmt.Printf("layout score:     %.3f\n", res.LayoutScore)
+	fmt.Printf("read throughput:  %.2f MB/s\n", res.ReadBps/1e6)
+	fmt.Printf("write throughput: %.2f MB/s\n", res.WriteBps/1e6)
+	fmt.Println("\nlayout by size:")
+	for _, b := range res.BySize {
+		if b.Files == 0 {
+			continue
+		}
+		fmt.Printf("  %8s  %6d files  %.3f\n", b.Label, b.Files, b.Score)
+	}
+	return nil
+}

@@ -1,0 +1,72 @@
+// Command layoutstat reports the fragmentation of a saved file-system
+// image: the aggregate layout score, the score by file size (the
+// paper's Figure 3 view), and the free-space run histogram.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ffsage/internal/core"
+	"ffsage/internal/ffs"
+	"ffsage/internal/layout"
+	"ffsage/internal/stats"
+)
+
+func main() {
+	var (
+		imagePath = flag.String("image", "aged.img", "file-system image from agefs")
+		hotFrom   = flag.Int("hotfrom", -1, "also report files modified on/after this day")
+	)
+	flag.Parse()
+	if err := run(*imagePath, *hotFrom); err != nil {
+		fmt.Fprintln(os.Stderr, "layoutstat:", err)
+		os.Exit(1)
+	}
+}
+
+func run(imagePath string, hotFrom int) error {
+	f, err := os.Open(imagePath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	fsys, err := ffs.LoadImage(f, core.Original{})
+	if err != nil {
+		return err
+	}
+	files := layout.AllFiles(fsys)
+	fmt.Printf("%s: %d files, %.1f MB, utilization %.1f%%\n",
+		imagePath, len(files), float64(layout.TotalBytes(files))/(1<<20), 100*fsys.Utilization())
+	fmt.Printf("aggregate layout score: %.3f (%.1f%% of blocks non-optimal)\n",
+		layout.FsAggregate(fsys), 100*layout.NonOptimalFraction(files, fsys.FragsPerBlock()))
+
+	fmt.Println("\nlayout score by file size:")
+	buckets := layout.BySize(files, fsys.FragsPerBlock(), stats.PowerOfTwoBuckets(16<<10, 16<<20))
+	for _, b := range buckets {
+		if b.Files == 0 {
+			continue
+		}
+		fmt.Printf("  %8s  %6d files  %8d blocks  %.3f\n", b.Label, b.Files, b.Blocks, b.Score)
+	}
+
+	hist, free := fsys.FreeRunHistogram()
+	fmt.Printf("\nfree space: %d blocks in runs ", free)
+	for k := 1; k <= 6; k++ {
+		fmt.Printf("%d:%d ", k, hist[k])
+	}
+	fmt.Printf("7+:%d\n", hist[7])
+
+	if hotFrom >= 0 {
+		hot := layout.HotFiles(fsys, hotFrom)
+		if len(hot) == 0 {
+			fmt.Printf("\nno files modified on or after day %d\n", hotFrom)
+			return nil
+		}
+		fmt.Printf("\nhot set (modified ≥ day %d): %d files, %.1f MB, layout %.3f\n",
+			hotFrom, len(hot), float64(layout.TotalBytes(hot))/(1<<20),
+			layout.Aggregate(hot, fsys.FragsPerBlock()))
+	}
+	return nil
+}

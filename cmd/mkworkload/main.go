@@ -1,0 +1,88 @@
+// Command mkworkload generates an aging workload: it simulates the
+// reference file server, takes its nightly snapshots, reconstructs the
+// operation stream from them with the paper's heuristics, and merges in
+// the synthetic NFS short-lived activity (paper Section 3.1).
+//
+// Outputs (all optional):
+//
+//	-out FILE        the reconstructed aging workload (binary)
+//	-truth FILE      the ground-truth operation stream (binary)
+//	-snapshots FILE  the nightly snapshots (binary)
+//	-text            write workloads in the text format instead
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ffsage/internal/trace"
+	"ffsage/internal/workload"
+)
+
+func main() {
+	var (
+		seed     = flag.Int64("seed", 1996, "generation seed")
+		days     = flag.Int("days", 300, "simulated days")
+		out      = flag.String("out", "workload.ffw", "reconstructed workload output")
+		truthOut = flag.String("truth", "", "ground-truth stream output")
+		snapsOut = flag.String("snapshots", "", "nightly snapshots output")
+		asText   = flag.Bool("text", false, "write workloads as text")
+	)
+	flag.Parse()
+	if err := run(*seed, *days, *out, *truthOut, *snapsOut, *asText); err != nil {
+		fmt.Fprintln(os.Stderr, "mkworkload:", err)
+		os.Exit(1)
+	}
+}
+
+func run(seed int64, days int, out, truthOut, snapsOut string, asText bool) error {
+	cfg := workload.DefaultConfig(seed)
+	cfg.Days = days
+	b, err := workload.BuildWorkload(cfg, workload.DefaultNFSTraceConfig(seed+1))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("ground truth:  %v\n", b.Reference.GroundTruth.Summarize())
+	fmt.Printf("reconstructed: %v\n", b.Reconstructed.Summarize())
+	fmt.Printf("end state: %d files, %.1f MB used\n",
+		b.Reference.EndLiveFiles, float64(b.Reference.EndUsedBytes)/(1<<20))
+
+	writeWl := func(path string, wl *trace.Workload) error {
+		if path == "" {
+			return nil
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if asText {
+			err = trace.WriteWorkloadText(f, wl)
+		} else {
+			err = trace.WriteWorkload(f, wl)
+		}
+		if err == nil {
+			fmt.Printf("wrote %s (%d ops)\n", path, len(wl.Ops))
+		}
+		return err
+	}
+	if err := writeWl(out, b.Reconstructed); err != nil {
+		return err
+	}
+	if err := writeWl(truthOut, b.Reference.GroundTruth); err != nil {
+		return err
+	}
+	if snapsOut != "" {
+		f, err := os.Create(snapsOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := trace.WriteSnapshots(f, b.Reference.Snapshots); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d snapshots)\n", snapsOut, len(b.Reference.Snapshots))
+	}
+	return nil
+}

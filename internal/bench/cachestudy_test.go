@@ -1,0 +1,52 @@
+package bench
+
+import (
+	"fmt"
+	"testing"
+
+	"ffsage/internal/core"
+	"ffsage/internal/disk"
+)
+
+func TestCacheStudyKnee(t *testing.T) {
+	img := smallImage(t, core.Realloc{})
+	// A ~6 MB hot set.
+	dir, err := img.Mkdir(img.Root(), "hot", 250)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 12; i++ {
+		if _, err := img.CreateFile(dir, fmt.Sprintf("h%d", i), 512<<10, 290); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rows, err := CacheStudy(img, disk.PaperParams(), 280, []int64{2 << 20, 16 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, big := rows[0], rows[1]
+	// Below the set size, LRU thrashes: no hits, second pass as slow as
+	// the first.
+	if small.HitRate > 0.05 {
+		t.Errorf("small cache hit rate %.2f, want ~0", small.HitRate)
+	}
+	if small.SecondPassBps > 1.5*small.FirstPassBps {
+		t.Errorf("small cache second pass %.2f not ≈ first %.2f",
+			small.SecondPassBps/1e6, small.FirstPassBps/1e6)
+	}
+	// Above the set size, the second pass runs from memory.
+	if big.HitRate < 0.95 {
+		t.Errorf("big cache hit rate %.2f, want ~1", big.HitRate)
+	}
+	if big.SecondPassBps < 5*big.FirstPassBps {
+		t.Errorf("big cache second pass %.2f not ≫ first %.2f",
+			big.SecondPassBps/1e6, big.FirstPassBps/1e6)
+	}
+}
+
+func TestCacheStudyValidation(t *testing.T) {
+	img := smallImage(t, core.Original{})
+	if _, err := CacheStudy(img, disk.PaperParams(), 0, []int64{1 << 20}); err == nil {
+		t.Error("empty hot set accepted")
+	}
+}

@@ -1,0 +1,94 @@
+package bench
+
+import (
+	"fmt"
+
+	"ffsage/internal/disk"
+	"ffsage/internal/ffs"
+	"ffsage/internal/layout"
+)
+
+// ClusteringStudyRow is one configuration of the A8 study: how a fresh
+// multi-megabyte file reads back under an I/O discipline and layout
+// policy pairing.
+type ClusteringStudyRow struct {
+	Label   string
+	ReadBps float64
+	// Layout of the measured file.
+	LayoutScore float64
+}
+
+// ClusteringStudy reproduces the claim in the paper's introduction that
+// clustered I/O improves on block-at-a-time file systems "by a factor
+// of two or three" ([McVoy90], [Seltzer93]) — the motivation for the
+// clustering whose long-term behaviour the paper studies. Three worlds
+// read the same freshly written file:
+//
+//  1. a pre-clustering FFS: contiguous layout, one request per block,
+//     a drive with no read-ahead — every block waits a full rotation;
+//  2. the same world with rotdelay spacing — the gap absorbs the
+//     per-request overhead, the historical fix;
+//  3. the paper's world: clustered layout and requests, track-buffer
+//     read-ahead.
+func ClusteringStudy(fileBytes int64, p disk.Params) ([]ClusteringStudyRow, error) {
+	if fileBytes < 1<<20 {
+		return nil, fmt.Errorf("bench: clustering study wants ≥ 1 MB, got %d", fileBytes)
+	}
+	type world struct {
+		label      string
+		rotDelayMs int
+		blockwise  bool
+		trackBuf   bool
+	}
+	worlds := []world{
+		{"block-at-a-time, contiguous, no read-ahead", 0, true, false},
+		{"block-at-a-time, rotdelay-spaced (old FFS)", 4, true, false},
+		{"clustered I/O + read-ahead (paper's FFS)", 0, false, true},
+	}
+	var out []ClusteringStudyRow
+	for _, w := range worlds {
+		fp := ffs.PaperParams()
+		fp.SizeBytes = 64 << 20
+		fp.NumCg = 4
+		fp.RotDelay = w.rotDelayMs
+		// Keep the whole file in one section so the discipline, not
+		// the section switches, dominates.
+		fp.MaxBpg = 1 << 20
+		fsys, err := ffs.NewFileSystem(fp, nopPolicy{})
+		if err != nil {
+			return nil, err
+		}
+		f, err := fsys.CreateFile(fsys.Root(), "subject", fileBytes, 0)
+		if err != nil {
+			return nil, err
+		}
+		dp := p
+		if !w.trackBuf {
+			dp.TrackBuffer = 0
+		}
+		io, err := newRig(fsys, dp)
+		if err != nil {
+			return nil, err
+		}
+		var elapsed float64
+		if w.blockwise {
+			elapsed = io.readBlockAtATime(f)
+		} else {
+			elapsed = io.read(f)
+		}
+		score, _, _ := layout.FileScore(f, fsys.FragsPerBlock())
+		out = append(out, ClusteringStudyRow{
+			Label:       w.label,
+			ReadBps:     float64(fileBytes) / elapsed,
+			LayoutScore: score,
+		})
+	}
+	return out, nil
+}
+
+// nopPolicy is a no-reallocation policy for the study's fixtures (the
+// rotdelay world predates the clustering code entirely).
+type nopPolicy struct{}
+
+func (nopPolicy) Name() string                                      { return "none" }
+func (nopPolicy) FlushCluster(*ffs.FileSystem, *ffs.File, int, int) {}

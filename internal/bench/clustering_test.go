@@ -1,0 +1,74 @@
+package bench
+
+import (
+	"testing"
+
+	"ffsage/internal/disk"
+	"ffsage/internal/ffs"
+)
+
+// The intro's claim ([McVoy90]/[Seltzer93]): clustering beats
+// block-at-a-time I/O by a factor of two or three. The rotdelay row
+// shows the historical mitigation working as designed.
+func TestClusteringStudy(t *testing.T) {
+	rows, err := ClusteringStudy(4<<20, disk.PaperParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	naive, rotdelay, clustered := rows[0], rows[1], rows[2]
+
+	// The naive world loses a rotation per block: ~bsize/rev.
+	p := disk.PaperParams()
+	lostRotationBound := 8192 / p.Geom.RotationPeriod() // one block per revolution
+	if naive.ReadBps > 1.3*lostRotationBound {
+		t.Errorf("naive read %.2f MB/s too fast for one block/rev (%.2f)",
+			naive.ReadBps/1e6, lostRotationBound/1e6)
+	}
+	if naive.LayoutScore < 0.99 { // one break at the indirect boundary
+		t.Errorf("naive world layout %.3f, want ~contiguous", naive.LayoutScore)
+	}
+
+	// Rotdelay spacing helps block-at-a-time I/O substantially...
+	if rotdelay.ReadBps < 1.5*naive.ReadBps {
+		t.Errorf("rotdelay %.2f MB/s not ≥1.5× naive %.2f", rotdelay.ReadBps/1e6, naive.ReadBps/1e6)
+	}
+	// ...and by design its layout is fully non-contiguous.
+	if rotdelay.LayoutScore > 0.01 {
+		t.Errorf("rotdelay layout %.3f, want ~0 (deliberate spacing)", rotdelay.LayoutScore)
+	}
+
+	// Clustering wins by the paper's "factor of two or three" over the
+	// old discipline, and far more over the naive one.
+	if clustered.ReadBps < 2*rotdelay.ReadBps {
+		t.Errorf("clustered %.2f MB/s not ≥2× rotdelay %.2f",
+			clustered.ReadBps/1e6, rotdelay.ReadBps/1e6)
+	}
+	if clustered.ReadBps < 4*naive.ReadBps {
+		t.Errorf("clustered %.2f MB/s not ≥4× naive %.2f",
+			clustered.ReadBps/1e6, naive.ReadBps/1e6)
+	}
+}
+
+func TestClusteringStudyValidation(t *testing.T) {
+	if _, err := ClusteringStudy(1000, disk.PaperParams()); err == nil {
+		t.Error("tiny file accepted")
+	}
+}
+
+func TestRotDelayFrags(t *testing.T) {
+	// Covered here because the study depends on it: 4 ms at 90 rev/s
+	// over 118 sectors/track ≈ 42 sectors ≈ 21 KB → 24 KB block-rounded
+	// → 24 fragments.
+	p := ffs.PaperParams()
+	p.RotDelay = 4
+	if got := p.RotDelayFrags(); got != 24 {
+		t.Errorf("RotDelayFrags = %d, want 24", got)
+	}
+	p.RotDelay = 0
+	if got := p.RotDelayFrags(); got != 0 {
+		t.Errorf("RotDelayFrags = %d, want 0", got)
+	}
+}

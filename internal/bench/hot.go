@@ -1,0 +1,67 @@
+package bench
+
+import (
+	"fmt"
+
+	"ffsage/internal/disk"
+	"ffsage/internal/ffs"
+	"ffsage/internal/layout"
+	"ffsage/internal/stats"
+)
+
+// HotResult reproduces Table 2: the layout score and read/write
+// throughput of the files modified during the last month of the aging
+// simulation, plus the by-size breakdown behind Figure 6.
+type HotResult struct {
+	NFiles     int
+	TotalBytes int64
+	// FracFiles and FracBytes report the hot set's share of the file
+	// system (the paper: 10.5% of files, 19% of allocated space).
+	FracFiles float64
+	FracBytes float64
+
+	LayoutScore float64
+	ReadBps     float64
+	WriteBps    float64
+
+	BySize []stats.SizeBucket
+}
+
+// HotFiles measures the hot set of the aged image: all plain files
+// modified on or after fromDay, visited in directory order (one
+// cylinder group's files together) as in Section 5.2. Reads include
+// inode fetches; the write phase overwrites files in place, so it
+// carries no allocation or create-metadata cost.
+func HotFiles(image *ffs.FileSystem, p disk.Params, fromDay int) (HotResult, error) {
+	fsys := image.Clone()
+	files := layout.HotFiles(fsys, fromDay)
+	if len(files) == 0 {
+		return HotResult{}, fmt.Errorf("bench: no files modified on or after day %d", fromDay)
+	}
+	io, err := newRig(fsys, p)
+	if err != nil {
+		return HotResult{}, err
+	}
+	var res HotResult
+	res.NFiles = len(files)
+	res.TotalBytes = layout.TotalBytes(files)
+	all := layout.AllFiles(fsys)
+	res.FracFiles = float64(len(files)) / float64(len(all))
+	res.FracBytes = float64(res.TotalBytes) / float64(layout.TotalBytes(all))
+	res.LayoutScore = layout.Aggregate(files, fsys.FragsPerBlock())
+
+	readTime := 0.0
+	for _, f := range files {
+		readTime += io.read(f)
+	}
+	writeTime := 0.0
+	for _, f := range files {
+		writeTime += io.overwrite(f)
+	}
+	res.ReadBps = float64(res.TotalBytes) / readTime
+	res.WriteBps = float64(res.TotalBytes) / writeTime
+
+	buckets := stats.PowerOfTwoBuckets(16<<10, 16<<20)
+	res.BySize = layout.BySize(files, fsys.FragsPerBlock(), buckets)
+	return res, nil
+}

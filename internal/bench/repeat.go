@@ -1,0 +1,78 @@
+package bench
+
+import (
+	"fmt"
+
+	"ffsage/internal/disk"
+	"ffsage/internal/ffs"
+	"ffsage/internal/stats"
+)
+
+// The paper ran every benchmark ten times and reported standard
+// deviations ("smaller than 1.5% of the mean" for the sequential
+// benchmark, "less than 2%" for the hot files). In a deterministic
+// simulation the honest analogue of run-to-run noise is the arbitrary
+// rotational phase each run begins at; the Repeated variants sweep the
+// initial platter angle across one revolution.
+
+// HotRepeatResult is the hot-file benchmark's repeated-run summary.
+type HotRepeatResult struct {
+	Runs        int
+	Read, Write stats.Summary // bytes/second
+	LayoutScore float64       // layout is phase-independent
+}
+
+// HotFilesRepeated runs the hot-file benchmark `runs` times.
+func HotFilesRepeated(image *ffs.FileSystem, p disk.Params, fromDay, runs int) (HotRepeatResult, error) {
+	if runs < 1 {
+		return HotRepeatResult{}, fmt.Errorf("bench: runs = %d", runs)
+	}
+	var reads, writes []float64
+	var out HotRepeatResult
+	for i := 0; i < runs; i++ {
+		pp := p
+		pp.InitialSpin = p.Geom.RotationPeriod() * float64(i) / float64(runs)
+		r, err := HotFiles(image, pp, fromDay)
+		if err != nil {
+			return HotRepeatResult{}, err
+		}
+		reads = append(reads, r.ReadBps)
+		writes = append(writes, r.WriteBps)
+		out.LayoutScore = r.LayoutScore
+	}
+	out.Runs = runs
+	out.Read = stats.Summarize(reads)
+	out.Write = stats.Summarize(writes)
+	return out, nil
+}
+
+// SeqRepeatResult is one sequential size point's repeated-run summary.
+type SeqRepeatResult struct {
+	FileSize    int64
+	Runs        int
+	Read, Write stats.Summary
+	LayoutScore float64
+}
+
+// SequentialIORepeated runs one sequential size point `runs` times.
+func SequentialIORepeated(image *ffs.FileSystem, p disk.Params, fileSize, totalBytes int64, day, runs int) (SeqRepeatResult, error) {
+	if runs < 1 {
+		return SeqRepeatResult{}, fmt.Errorf("bench: runs = %d", runs)
+	}
+	var reads, writes []float64
+	out := SeqRepeatResult{FileSize: fileSize, Runs: runs}
+	for i := 0; i < runs; i++ {
+		pp := p
+		pp.InitialSpin = p.Geom.RotationPeriod() * float64(i) / float64(runs)
+		r, err := SequentialIO(image, pp, fileSize, totalBytes, day)
+		if err != nil {
+			return SeqRepeatResult{}, err
+		}
+		reads = append(reads, r.ReadBps)
+		writes = append(writes, r.WriteBps)
+		out.LayoutScore = r.LayoutScore
+	}
+	out.Read = stats.Summarize(reads)
+	out.Write = stats.Summarize(writes)
+	return out, nil
+}

@@ -1,0 +1,77 @@
+package bench
+
+import (
+	"fmt"
+	"testing"
+
+	"ffsage/internal/core"
+	"ffsage/internal/disk"
+	"ffsage/internal/ffs"
+)
+
+func TestSchedulingStudy(t *testing.T) {
+	img := smallImage(t, core.Original{})
+	// Region 1: churn that leaves hot files whose inode order zigzags
+	// across disk addresses (deleted inodes are reused by files placed
+	// in the holes), giving the elevator seeks to eliminate.
+	dirA, err := img.Mkdir(img.Root(), "zigzag", 280)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var files []*ffs.File
+	for i := 0; i < 40; i++ {
+		f, err := img.CreateFile(dirA, fmt.Sprintf("f%d", i), 24<<10, 290)
+		if err != nil {
+			t.Fatal(err)
+		}
+		files = append(files, f)
+	}
+	for i := 0; i < len(files); i += 2 {
+		if err := img.Delete(files[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 20; i++ {
+		if _, err := img.CreateFile(dirA, fmt.Sprintf("r%d", i), 24<<10, 290); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Region 2: back-to-back files whose extents abut, giving the
+	// coalescer requests to merge.
+	dirB, err := img.Mkdir(img.Root(), "adjacent", 280)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if _, err := img.CreateFile(dirB, fmt.Sprintf("c%d", i), 24<<10, 290); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rows, err := SchedulingStudy(map[string]*ffs.FileSystem{"test": img}, disk.PaperParams(), 280)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	by := map[disk.Discipline]float64{}
+	for _, r := range rows {
+		if r.WriteBps <= 0 {
+			t.Fatalf("row %+v", r)
+		}
+		by[r.Discipline] = r.WriteBps
+	}
+	// Sorting alone may win or lose (short sorted hops each wait a
+	// near-full rotation), but sorting plus coalescing beats both.
+	if by[disk.ElevatorCoalesce] <= by[disk.Elevator] {
+		t.Errorf("coalesce %.2f not above elevator %.2f",
+			by[disk.ElevatorCoalesce]/1e6, by[disk.Elevator]/1e6)
+	}
+	if by[disk.ElevatorCoalesce] <= by[disk.FCFS] {
+		t.Errorf("coalesce %.2f not above fcfs %.2f",
+			by[disk.ElevatorCoalesce]/1e6, by[disk.FCFS]/1e6)
+	}
+	if _, err := SchedulingStudy(map[string]*ffs.FileSystem{"x": img}, disk.PaperParams(), 400); err == nil {
+		t.Error("empty hot set accepted")
+	}
+}

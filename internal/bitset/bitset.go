@@ -1,0 +1,279 @@
+// Package bitset provides a fixed-size bitmap with the run-oriented
+// queries needed by FFS cylinder-group free maps: set/clear/test single
+// bits, count bits in a range, and search for runs of set bits.
+//
+// By convention throughout this repository a set bit means "free", to
+// match the sense of the FFS cg_blksfree map.
+package bitset
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+const wordBits = 64
+
+// Set is a fixed-length bitmap. The zero value is unusable; construct
+// with New. Bit indices run from 0 to Len()-1.
+type Set struct {
+	n     int
+	words []uint64
+}
+
+// New returns a Set of n bits, all clear.
+func New(n int) *Set {
+	if n < 0 {
+		panic(fmt.Sprintf("bitset: negative size %d", n))
+	}
+	return &Set{n: n, words: make([]uint64, (n+wordBits-1)/wordBits)}
+}
+
+// Len returns the number of bits in the set.
+func (s *Set) Len() int { return s.n }
+
+func (s *Set) check(i int) {
+	if i < 0 || i >= s.n {
+		panic(fmt.Sprintf("bitset: index %d out of range [0,%d)", i, s.n))
+	}
+}
+
+// Set sets bit i.
+func (s *Set) Set(i int) {
+	s.check(i)
+	s.words[i/wordBits] |= 1 << uint(i%wordBits)
+}
+
+// Clear clears bit i.
+func (s *Set) Clear(i int) {
+	s.check(i)
+	s.words[i/wordBits] &^= 1 << uint(i%wordBits)
+}
+
+// Test reports whether bit i is set.
+func (s *Set) Test(i int) bool {
+	s.check(i)
+	return s.words[i/wordBits]&(1<<uint(i%wordBits)) != 0
+}
+
+// SetRange sets bits [lo, hi).
+func (s *Set) SetRange(lo, hi int) {
+	if lo < 0 || hi > s.n || lo > hi {
+		panic(fmt.Sprintf("bitset: bad range [%d,%d) of %d", lo, hi, s.n))
+	}
+	for i := lo; i < hi; i++ {
+		s.words[i/wordBits] |= 1 << uint(i%wordBits)
+	}
+}
+
+// ClearRange clears bits [lo, hi).
+func (s *Set) ClearRange(lo, hi int) {
+	if lo < 0 || hi > s.n || lo > hi {
+		panic(fmt.Sprintf("bitset: bad range [%d,%d) of %d", lo, hi, s.n))
+	}
+	for i := lo; i < hi; i++ {
+		s.words[i/wordBits] &^= 1 << uint(i%wordBits)
+	}
+}
+
+// TestRange reports whether every bit in [lo, hi) is set. An empty range
+// is vacuously true.
+func (s *Set) TestRange(lo, hi int) bool {
+	if lo < 0 || hi > s.n || lo > hi {
+		panic(fmt.Sprintf("bitset: bad range [%d,%d) of %d", lo, hi, s.n))
+	}
+	for i := lo; i < hi; i++ {
+		if !s.Test(i) {
+			return false
+		}
+	}
+	return true
+}
+
+// Count returns the number of set bits.
+func (s *Set) Count() int {
+	c := 0
+	for _, w := range s.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// CountRange returns the number of set bits in [lo, hi).
+func (s *Set) CountRange(lo, hi int) int {
+	if lo < 0 || hi > s.n || lo > hi {
+		panic(fmt.Sprintf("bitset: bad range [%d,%d) of %d", lo, hi, s.n))
+	}
+	c := 0
+	for i := lo; i < hi; i++ {
+		if s.Test(i) {
+			c++
+		}
+	}
+	return c
+}
+
+// NextSet returns the index of the first set bit at or after i, or -1 if
+// there is none.
+func (s *Set) NextSet(i int) int {
+	if i < 0 {
+		i = 0
+	}
+	if i >= s.n {
+		return -1
+	}
+	w := i / wordBits
+	// Mask off bits below i in the first word.
+	cur := s.words[w] & (^uint64(0) << uint(i%wordBits))
+	for {
+		if cur != 0 {
+			idx := w*wordBits + bits.TrailingZeros64(cur)
+			if idx >= s.n {
+				return -1
+			}
+			return idx
+		}
+		w++
+		if w >= len(s.words) {
+			return -1
+		}
+		cur = s.words[w]
+	}
+}
+
+// NextClear returns the index of the first clear bit at or after i, or -1
+// if there is none.
+func (s *Set) NextClear(i int) int {
+	if i < 0 {
+		i = 0
+	}
+	if i >= s.n {
+		return -1
+	}
+	w := i / wordBits
+	cur := ^s.words[w] & (^uint64(0) << uint(i%wordBits))
+	for {
+		if cur != 0 {
+			idx := w*wordBits + bits.TrailingZeros64(cur)
+			if idx >= s.n {
+				return -1
+			}
+			return idx
+		}
+		w++
+		if w >= len(s.words) {
+			return -1
+		}
+		cur = ^s.words[w]
+	}
+}
+
+// RunLengthAt returns the length of the run of set bits starting exactly
+// at i (0 if bit i is clear). The run is truncated at max when max > 0.
+func (s *Set) RunLengthAt(i int, max int) int {
+	s.check(i)
+	n := 0
+	for j := i; j < s.n && s.Test(j); j++ {
+		n++
+		if max > 0 && n >= max {
+			break
+		}
+	}
+	return n
+}
+
+// FindRun searches [lo, hi) for the first run of at least length set
+// bits and returns its start index, or -1 if none exists. A run may not
+// extend past hi.
+func (s *Set) FindRun(lo, hi, length int) int {
+	if length <= 0 {
+		panic(fmt.Sprintf("bitset: FindRun length %d", length))
+	}
+	if lo < 0 || hi > s.n || lo > hi {
+		panic(fmt.Sprintf("bitset: bad range [%d,%d) of %d", lo, hi, s.n))
+	}
+	i := lo
+	for {
+		i = s.NextSet(i)
+		if i < 0 || i+length > hi {
+			return -1
+		}
+		run := 1
+		for run < length && s.Test(i+run) {
+			run++
+		}
+		if run >= length {
+			return i
+		}
+		i += run
+	}
+}
+
+// FindRunNearest searches [lo, hi) for a run of at least length set bits,
+// preferring the run whose start is closest to pref (absolute distance).
+// Returns -1 if no such run exists.
+func (s *Set) FindRunNearest(lo, hi, length, pref int) int {
+	best := -1
+	bestDist := int(^uint(0) >> 1)
+	i := lo
+	for {
+		start := s.FindRun(i, hi, length)
+		if start < 0 {
+			break
+		}
+		d := start - pref
+		if d < 0 {
+			d = -d
+		}
+		if d < bestDist {
+			best, bestDist = start, d
+		}
+		if start >= pref {
+			// Runs only get farther from pref from here on.
+			break
+		}
+		// Skip past this run.
+		run := start
+		for run < hi && s.Test(run) {
+			run++
+		}
+		i = run
+	}
+	return best
+}
+
+// Clone returns a deep copy of the set.
+func (s *Set) Clone() *Set {
+	c := &Set{n: s.n, words: make([]uint64, len(s.words))}
+	copy(c.words, s.words)
+	return c
+}
+
+// Equal reports whether two sets have identical length and contents.
+func (s *Set) Equal(o *Set) bool {
+	if s.n != o.n {
+		return false
+	}
+	for i, w := range s.words {
+		if o.words[i] != w {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the set as a compact 0/1 string, for tests and debugging
+// of small maps. Sets longer than 256 bits are summarized.
+func (s *Set) String() string {
+	if s.n > 256 {
+		return fmt.Sprintf("bitset{len=%d set=%d}", s.n, s.Count())
+	}
+	buf := make([]byte, s.n)
+	for i := 0; i < s.n; i++ {
+		if s.Test(i) {
+			buf[i] = '1'
+		} else {
+			buf[i] = '0'
+		}
+	}
+	return string(buf)
+}

@@ -1,0 +1,304 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewAllClear(t *testing.T) {
+	s := New(130)
+	if s.Len() != 130 {
+		t.Fatalf("Len = %d, want 130", s.Len())
+	}
+	if s.Count() != 0 {
+		t.Fatalf("Count = %d, want 0", s.Count())
+	}
+	for i := 0; i < 130; i++ {
+		if s.Test(i) {
+			t.Fatalf("bit %d set in new set", i)
+		}
+	}
+}
+
+func TestSetClearTest(t *testing.T) {
+	s := New(100)
+	for _, i := range []int{0, 1, 63, 64, 65, 99} {
+		s.Set(i)
+		if !s.Test(i) {
+			t.Errorf("bit %d not set after Set", i)
+		}
+	}
+	if got := s.Count(); got != 6 {
+		t.Fatalf("Count = %d, want 6", got)
+	}
+	s.Clear(64)
+	if s.Test(64) {
+		t.Error("bit 64 still set after Clear")
+	}
+	if got := s.Count(); got != 5 {
+		t.Fatalf("Count = %d, want 5", got)
+	}
+}
+
+func TestRangeOps(t *testing.T) {
+	s := New(200)
+	s.SetRange(10, 150)
+	if got := s.Count(); got != 140 {
+		t.Fatalf("Count after SetRange = %d, want 140", got)
+	}
+	if !s.TestRange(10, 150) {
+		t.Error("TestRange(10,150) = false, want true")
+	}
+	if s.TestRange(9, 150) {
+		t.Error("TestRange(9,150) = true, want false")
+	}
+	if !s.TestRange(20, 20) {
+		t.Error("empty TestRange should be true")
+	}
+	s.ClearRange(50, 60)
+	if got := s.CountRange(10, 150); got != 130 {
+		t.Fatalf("CountRange = %d, want 130", got)
+	}
+	if s.TestRange(10, 150) {
+		t.Error("TestRange over cleared hole should be false")
+	}
+}
+
+func TestNextSetNextClear(t *testing.T) {
+	s := New(300)
+	s.Set(5)
+	s.Set(64)
+	s.Set(299)
+	cases := []struct{ from, want int }{
+		{0, 5}, {5, 5}, {6, 64}, {65, 299}, {299, 299},
+	}
+	for _, c := range cases {
+		if got := s.NextSet(c.from); got != c.want {
+			t.Errorf("NextSet(%d) = %d, want %d", c.from, got, c.want)
+		}
+	}
+	full := New(130)
+	full.SetRange(0, 130)
+	if got := full.NextClear(0); got != -1 {
+		t.Errorf("NextClear on full = %d, want -1", got)
+	}
+	full.Clear(129)
+	if got := full.NextClear(0); got != 129 {
+		t.Errorf("NextClear = %d, want 129", got)
+	}
+	if got := s.NextSet(300); got != -1 {
+		t.Errorf("NextSet past end = %d, want -1", got)
+	}
+}
+
+func TestRunLengthAt(t *testing.T) {
+	s := New(64)
+	s.SetRange(10, 20)
+	if got := s.RunLengthAt(10, 0); got != 10 {
+		t.Errorf("RunLengthAt(10) = %d, want 10", got)
+	}
+	if got := s.RunLengthAt(15, 0); got != 5 {
+		t.Errorf("RunLengthAt(15) = %d, want 5", got)
+	}
+	if got := s.RunLengthAt(10, 3); got != 3 {
+		t.Errorf("RunLengthAt(10,max=3) = %d, want 3", got)
+	}
+	if got := s.RunLengthAt(9, 0); got != 0 {
+		t.Errorf("RunLengthAt(9) = %d, want 0", got)
+	}
+}
+
+func TestFindRun(t *testing.T) {
+	s := New(100)
+	s.SetRange(4, 6)   // run of 2
+	s.SetRange(30, 37) // run of 7
+	s.SetRange(90, 100)
+
+	if got := s.FindRun(0, 100, 2); got != 4 {
+		t.Errorf("FindRun len 2 = %d, want 4", got)
+	}
+	if got := s.FindRun(0, 100, 3); got != 30 {
+		t.Errorf("FindRun len 3 = %d, want 30", got)
+	}
+	if got := s.FindRun(0, 100, 8); got != 90 {
+		t.Errorf("FindRun len 8 = %d, want 90", got)
+	}
+	if got := s.FindRun(0, 100, 11); got != -1 {
+		t.Errorf("FindRun len 11 = %d, want -1", got)
+	}
+	// A run may not extend past hi.
+	if got := s.FindRun(0, 95, 8); got != -1 {
+		t.Errorf("FindRun len 8 bounded at 95 = %d, want -1", got)
+	}
+}
+
+func TestFindRunNearest(t *testing.T) {
+	s := New(100)
+	s.SetRange(10, 14)
+	s.SetRange(60, 64)
+	if got := s.FindRunNearest(0, 100, 4, 0); got != 10 {
+		t.Errorf("nearest to 0 = %d, want 10", got)
+	}
+	if got := s.FindRunNearest(0, 100, 4, 99); got != 60 {
+		t.Errorf("nearest to 99 = %d, want 60", got)
+	}
+	if got := s.FindRunNearest(0, 100, 4, 38); got != 60 {
+		t.Errorf("nearest to 38 = %d, want 60 (dist 22 vs 28)", got)
+	}
+	if got := s.FindRunNearest(0, 100, 4, 30); got != 10 {
+		t.Errorf("nearest to 30 = %d, want 10 (dist 20 vs 30)", got)
+	}
+	if got := s.FindRunNearest(0, 100, 5, 30); got != -1 {
+		t.Errorf("nearest len 5 = %d, want -1", got)
+	}
+}
+
+func TestCloneEqual(t *testing.T) {
+	s := New(77)
+	s.SetRange(3, 40)
+	c := s.Clone()
+	if !s.Equal(c) {
+		t.Fatal("clone not equal")
+	}
+	c.Clear(10)
+	if s.Equal(c) {
+		t.Fatal("mutated clone still equal")
+	}
+	if s.Test(10) != true {
+		t.Fatal("mutating clone changed original")
+	}
+}
+
+func TestString(t *testing.T) {
+	s := New(8)
+	s.Set(0)
+	s.Set(7)
+	if got := s.String(); got != "10000001" {
+		t.Errorf("String = %q", got)
+	}
+	big := New(1000)
+	if got := big.String(); got != "bitset{len=1000 set=0}" {
+		t.Errorf("big String = %q", got)
+	}
+}
+
+func TestPanics(t *testing.T) {
+	s := New(10)
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("Test(-1)", func() { s.Test(-1) })
+	mustPanic("Set(10)", func() { s.Set(10) })
+	mustPanic("SetRange bad", func() { s.SetRange(5, 3) })
+	mustPanic("FindRun len 0", func() { s.FindRun(0, 10, 0) })
+	mustPanic("New(-1)", func() { New(-1) })
+}
+
+// Property: Count equals the number of indices where Test is true, under
+// any random sequence of Set/Clear operations.
+func TestQuickCountConsistent(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(500)
+		s := New(n)
+		ref := make([]bool, n)
+		for op := 0; op < 300; op++ {
+			i := rng.Intn(n)
+			if rng.Intn(2) == 0 {
+				s.Set(i)
+				ref[i] = true
+			} else {
+				s.Clear(i)
+				ref[i] = false
+			}
+		}
+		want := 0
+		for i, b := range ref {
+			if s.Test(i) != b {
+				return false
+			}
+			if b {
+				want++
+			}
+		}
+		return s.Count() == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: FindRun returns a genuine run of set bits within bounds, and
+// -1 only when no such run exists (verified against a naive scan).
+func TestQuickFindRunMatchesNaive(t *testing.T) {
+	naive := func(s *Set, lo, hi, length int) int {
+		for i := lo; i+length <= hi; i++ {
+			ok := true
+			for j := i; j < i+length; j++ {
+				if !s.Test(j) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				return i
+			}
+		}
+		return -1
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 8 + rng.Intn(400)
+		s := New(n)
+		for i := 0; i < n; i++ {
+			if rng.Intn(3) > 0 {
+				s.Set(i)
+			}
+		}
+		length := 1 + rng.Intn(9)
+		lo := rng.Intn(n)
+		hi := lo + rng.Intn(n-lo)
+		return s.FindRun(lo, hi, length) == naive(s, lo, hi, length)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: NextSet/NextClear agree with naive scans.
+func TestQuickNextMatchesNaive(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(300)
+		s := New(n)
+		for i := 0; i < n; i++ {
+			if rng.Intn(2) == 0 {
+				s.Set(i)
+			}
+		}
+		from := rng.Intn(n + 2)
+		wantSet, wantClear := -1, -1
+		for i := from; i < n; i++ {
+			if wantSet < 0 && s.Test(i) {
+				wantSet = i
+			}
+			if wantClear < 0 && !s.Test(i) {
+				wantClear = i
+			}
+		}
+		if from >= n {
+			return s.NextSet(from) == -1 && s.NextClear(from) == -1
+		}
+		return s.NextSet(from) == wantSet && s.NextClear(from) == wantClear
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

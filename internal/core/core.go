@@ -1,0 +1,109 @@
+// Package core implements the two disk allocation policies the paper
+// compares:
+//
+//   - Original: the traditional FFS policy. Blocks are allocated one at
+//     a time; when the block following the previous one is taken, the
+//     allocator settles for the next free block it finds, paying no
+//     attention to the size of the free region that block sits in. No
+//     reallocation ever happens.
+//
+//   - Realloc: McKusick's 4.4BSD-Lite enhancement (ffs_reallocblks).
+//     Initial allocation is identical, but before a cluster of dirty,
+//     logically sequential blocks is written to disk, the policy tries
+//     to relocate the whole run into a single free cluster — preferring
+//     placement immediately after the file's previous cluster, so
+//     clusters chain end to end into layouts longer than maxcontig.
+//
+// Both are ffs.Policy implementations; the mechanism they share lives
+// in internal/ffs, the decision logic here.
+package core
+
+import "ffsage/internal/ffs"
+
+// Original is the traditional FFS allocation policy: no reallocation.
+type Original struct{}
+
+// Name implements ffs.Policy.
+func (Original) Name() string { return "ffs" }
+
+// FlushCluster implements ffs.Policy as a no-op: whatever the
+// block-at-a-time allocator chose is what reaches disk.
+func (Original) FlushCluster(*ffs.FileSystem, *ffs.File, int, int) {}
+
+// Realloc is the 4.4BSD realloc allocation policy.
+//
+// The zero value reproduces the quirk the paper documents in Section 4:
+// reallocation is not invoked until a file fills its second block, so
+// two-block files whose second block is a fragment tail keep their
+// original — often discontiguous — placement. Setting
+// ReallocSingleBlocks ablates the quirk (used by the A3 ablation
+// bench).
+type Realloc struct {
+	// ReallocSingleBlocks also engages the relocation machinery for
+	// single-block runs, removing the paper's two-block-file dip.
+	ReallocSingleBlocks bool
+	// InGroupOnly restricts the cluster search to the preferred
+	// cylinder group, disabling the ffs_hashalloc fallback across
+	// groups — the A5 ablation, which shows the cross-group search is
+	// what sustains the policy on a nearly full disk.
+	InGroupOnly bool
+}
+
+// Name implements ffs.Policy.
+func (r Realloc) Name() string {
+	switch {
+	case r.ReallocSingleBlocks:
+		return "ffs+realloc(single)"
+	case r.InGroupOnly:
+		return "ffs+realloc(incg)"
+	default:
+		return "ffs+realloc"
+	}
+}
+
+// FlushCluster implements ffs.Policy: given the dirty run [start, end)
+// of f, decide whether to relocate it and do so through the file
+// system's cluster mechanism.
+func (r Realloc) FlushCluster(fs *ffs.FileSystem, f *ffs.File, start, end int) {
+	n := end - start
+	if n <= 0 || n > fs.P.MaxContig {
+		return
+	}
+	if !r.ReallocSingleBlocks && n == 1 {
+		// Single-buffer "clusters" never reach the clustering code.
+		// This is the quirk the paper documents: a file that has not
+		// filled its second block flushes a one-block run, so its
+		// (possibly discontiguous) first placement survives.
+		return
+	}
+	fpb := fs.FragsPerBlock()
+	pref, cgIdx := fs.ReallocPref(f, start)
+	contiguous := f.RunIsContiguous(start, end, fpb)
+	placed := pref == ffs.NilDaddr || f.Blocks[start] == pref
+	if contiguous && placed {
+		return // nothing to gain
+	}
+	fs.Stats.ClusterAttempts++
+	if contiguous && pref != ffs.NilDaddr {
+		// The run is internally fine but does not chain to the
+		// previous cluster. Move it only if the exact chained
+		// placement is free; migrating a contiguous run to another
+		// arbitrary spot buys nothing.
+		fs.TryReallocRun(f, start, end, cgIdx, pref)
+		return
+	}
+	// The run is internally fragmented: first try the chained
+	// placement, then any free cluster — searching across cylinder
+	// groups in hashalloc order, as ffs_reallocblks does through
+	// ffs_hashalloc(ffs_clusteralloc).
+	if pref != ffs.NilDaddr && fs.TryReallocRun(f, start, end, cgIdx, pref) {
+		return
+	}
+	if r.InGroupOnly {
+		fs.TryReallocRun(f, start, end, cgIdx, ffs.NilDaddr)
+		return
+	}
+	if cg := fs.FindClusterCg(cgIdx, n); cg >= 0 {
+		fs.TryReallocRun(f, start, end, cg, ffs.NilDaddr)
+	}
+}

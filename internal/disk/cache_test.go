@@ -1,0 +1,72 @@
+package disk
+
+import "testing"
+
+func newCacheRig(capacityBytes int64) (*BlockCache, *Disk) {
+	d := New(PaperParams())
+	part := PaperPartition(d)
+	return NewBlockCache(part, 8<<10, capacityBytes), d
+}
+
+func TestCacheSecondReadIsFast(t *testing.T) {
+	c, _ := newCacheRig(4 << 20)
+	cold := c.Read(0, 1<<20)
+	warm := c.Read(0, 1<<20)
+	if warm > cold/5 {
+		t.Errorf("warm read %v not ≪ cold %v", warm, cold)
+	}
+	hits, misses := c.Stats()
+	if misses != 128 || hits != 128 {
+		t.Errorf("hits=%d misses=%d, want 128/128", hits, misses)
+	}
+}
+
+func TestCacheLRUScanAnomaly(t *testing.T) {
+	// A sequential scan larger than the cache evicts everything before
+	// it is re-read: the second pass misses completely (the knee the
+	// hot-file study measures).
+	c, _ := newCacheRig(1 << 20) // 1 MB cache
+	c.Read(0, 2<<20)             // 2 MB scan
+	c.Read(0, 2<<20)
+	hits, misses := c.Stats()
+	if hits != 0 {
+		t.Errorf("hits=%d on repeated over-size scan, want 0 (LRU)", hits)
+	}
+	if misses != 512 {
+		t.Errorf("misses=%d, want 512", misses)
+	}
+}
+
+func TestCacheWriteThroughPopulates(t *testing.T) {
+	c, d := newCacheRig(4 << 20)
+	before := d.Stats().Writes
+	c.Write(0, 64<<10)
+	if d.Stats().Writes == before {
+		t.Error("write did not reach the disk")
+	}
+	c.Read(0, 64<<10)
+	hits, _ := c.Stats()
+	if hits != 8 {
+		t.Errorf("hits=%d after write-through, want 8", hits)
+	}
+}
+
+func TestCacheSubBlockBypasses(t *testing.T) {
+	c, _ := newCacheRig(4 << 20)
+	c.Read(1024, 1024) // unaligned fragment read
+	hits, misses := c.Stats()
+	if hits != 0 || misses != 0 {
+		t.Errorf("fragment read touched the cache: %d/%d", hits, misses)
+	}
+}
+
+func TestCachePanicsOnBadGeometry(t *testing.T) {
+	d := New(PaperParams())
+	part := PaperPartition(d)
+	defer func() {
+		if recover() == nil {
+			t.Error("bad geometry accepted")
+		}
+	}()
+	NewBlockCache(part, 8<<10, 1<<10)
+}

@@ -1,0 +1,306 @@
+package disk
+
+import "fmt"
+
+// Params collects the tunable pieces of the storage-stack model. All
+// times are seconds, all rates bytes/second.
+type Params struct {
+	Geom Geometry
+	Seek SeekCurve
+
+	// BusRate is the host transfer rate (fast SCSI-2 behind PCI).
+	BusRate float64
+	// CtlOverhead is the fixed per-request cost: command setup,
+	// interrupt, driver. Every request issued to the drive pays it.
+	CtlOverhead float64
+	// HeadSwitch is the time to activate an adjacent head (also charged
+	// when a transfer walks onto the next track; the drive's skew hides
+	// the rotational cost, so only the switch itself is charged).
+	HeadSwitch float64
+	// MaxTransfer is the controller's largest single transfer in bytes;
+	// larger requests are split and each piece pays CtlOverhead. The
+	// paper's configuration: 64 KB.
+	MaxTransfer int
+	// TrackBuffer is the drive's read-ahead buffer size in bytes
+	// (512 KB on the ST32430N). A read that continues, or lands a short
+	// forward gap after, the previous read is served from the buffer at
+	// the media/bus rate with no seek or rotational delay.
+	TrackBuffer int
+	// ReadAheadSlack is how many sectors of forward gap a buffered read
+	// may skip and still hit the buffer (the drive has read past them
+	// anyway). One track's worth is the model default.
+	ReadAheadSlack int
+	// InitialSpin offsets the platter's starting angle by this many
+	// seconds of rotation. The paper ran each benchmark ten times; in a
+	// deterministic simulation the honest analogue of run-to-run noise
+	// is the arbitrary rotational phase each run begins at, which this
+	// parameter varies.
+	InitialSpin float64
+}
+
+// PaperParams returns the storage model for the paper's benchmark
+// machine (Table 1): ST32430N, BusLogic 946C, PCI, 64 KB max transfer,
+// 512 KB track buffer.
+func PaperParams() Params {
+	g := ST32430N()
+	return Params{
+		Geom:           g,
+		Seek:           ST32430NSeek(),
+		BusRate:        10e6, // fast SCSI-2
+		CtlOverhead:    0.7e-3,
+		HeadSwitch:     1.0e-3,
+		MaxTransfer:    64 << 10,
+		TrackBuffer:    512 << 10,
+		ReadAheadSlack: 116,
+	}
+}
+
+// SparcStation1Params returns the storage model of the earlier study
+// the paper compares itself to in §5.1 ([Seltzer95]'s SparcStation 1):
+// a comparable disk behind a far slower host path. The paper argues its
+// own larger speedups come from the PCI machine's higher bus bandwidth
+// raising the seek-to-transfer ratio; swapping these parameters into
+// the benchmarks reproduces that argument (the A6 study).
+func SparcStation1Params() Params {
+	p := PaperParams()
+	p.BusRate = 1.5e6    // SS1 SCSI effective host rate
+	p.CtlOverhead = 2e-3 // slower CPU and controller
+	return p
+}
+
+// Stats accumulates what the disk spent its time on, for tests,
+// debugging and the ablation benches.
+type Stats struct {
+	Reads, Writes     int64 // requests after splitting
+	SectorsRead       int64
+	SectorsWritten    int64
+	BufferHits        int64   // read requests served by read-ahead
+	SeekTime          float64 // seconds
+	RotTime           float64
+	TransferTime      float64
+	OverheadTime      float64
+	SeekCount         int64 // non-zero-distance seeks
+	CylindersTraveled int64
+}
+
+// Disk is a single-actuator disk with a deterministic clock. It is not
+// safe for concurrent use; every benchmark drives its own Disk.
+//
+// The clock only advances through Read, Write and Idle; rotational
+// position is derived from the clock, so "thinking too long" between two
+// sequential writes naturally costs a missed revolution.
+type Disk struct {
+	p Params
+
+	now    float64 // simulated seconds since spin-up
+	curCyl int
+
+	// Read-ahead state: the drive streams ahead of the last read.
+	raValid bool
+	raFrom  int64 // first LBA that is (or will be) buffered
+	raCyl   int   // cylinder the read-ahead stream is on
+
+	stats Stats
+}
+
+// New returns a disk with the head at cylinder zero and the platter at
+// the phase implied by InitialSpin.
+func New(p Params) *Disk {
+	if p.Geom.TotalSectors() == 0 {
+		panic("disk: zero-size geometry")
+	}
+	if p.MaxTransfer <= 0 || p.MaxTransfer%p.Geom.SectorSize != 0 {
+		panic(fmt.Sprintf("disk: bad MaxTransfer %d", p.MaxTransfer))
+	}
+	if p.InitialSpin < 0 {
+		panic(fmt.Sprintf("disk: negative initial spin %v", p.InitialSpin))
+	}
+	return &Disk{p: p, now: p.InitialSpin}
+}
+
+// Params returns the model parameters the disk was built with.
+func (d *Disk) Params() Params { return d.p }
+
+// Now returns the current simulated time in seconds.
+func (d *Disk) Now() float64 { return d.now }
+
+// Stats returns a copy of the accumulated statistics.
+func (d *Disk) Stats() Stats { return d.stats }
+
+// ResetStats zeroes the statistics without touching the clock or head.
+func (d *Disk) ResetStats() { d.stats = Stats{} }
+
+// Idle advances the clock without disk activity (host compute time).
+func (d *Disk) Idle(seconds float64) {
+	if seconds < 0 {
+		panic("disk: negative idle")
+	}
+	d.now += seconds
+}
+
+// angleSectors returns the sector index currently under the heads,
+// as a float in [0, SectorsPerTrack).
+func (d *Disk) angleSectors() float64 {
+	spt := float64(d.p.Geom.SectorsPerTrack)
+	rev := d.now / d.p.Geom.RotationPeriod()
+	frac := rev - float64(int64(rev))
+	return frac * spt
+}
+
+// Read performs a read of nsect sectors at lba, advancing the clock, and
+// returns the request's duration in seconds. Requests larger than
+// MaxTransfer are issued as several back-to-back transfers.
+func (d *Disk) Read(lba int64, nsect int) float64 {
+	return d.access(lba, nsect, false)
+}
+
+// Write performs a write of nsect sectors at lba, advancing the clock,
+// and returns the request's duration in seconds.
+func (d *Disk) Write(lba int64, nsect int) float64 {
+	return d.access(lba, nsect, true)
+}
+
+func (d *Disk) access(lba int64, nsect int, write bool) float64 {
+	if nsect <= 0 {
+		panic(fmt.Sprintf("disk: non-positive transfer %d", nsect))
+	}
+	if lba < 0 || lba+int64(nsect) > d.p.Geom.TotalSectors() {
+		panic(fmt.Sprintf("disk: access [%d,%d) out of range", lba, lba+int64(nsect)))
+	}
+	start := d.now
+	maxSect := d.p.MaxTransfer / d.p.Geom.SectorSize
+	for nsect > 0 {
+		chunk := nsect
+		if chunk > maxSect {
+			chunk = maxSect
+		}
+		d.request(lba, chunk, write)
+		lba += int64(chunk)
+		nsect -= chunk
+	}
+	return d.now - start
+}
+
+// request issues one ≤MaxTransfer request to the drive.
+func (d *Disk) request(lba int64, nsect int, write bool) {
+	g := d.p.Geom
+	d.now += d.p.CtlOverhead
+	d.stats.OverheadTime += d.p.CtlOverhead
+
+	if write {
+		d.stats.Writes++
+		d.stats.SectorsWritten += int64(nsect)
+		// A write lands wherever the platters happen to be: full
+		// mechanical path, and it invalidates the read-ahead stream.
+		d.raValid = false
+		d.mechanicalTransfer(lba, nsect)
+		return
+	}
+
+	d.stats.Reads++
+	d.stats.SectorsRead += int64(nsect)
+	if d.bufferHit(lba, nsect) {
+		d.stats.BufferHits++
+		// Served at the slower of bus rate and the media rate at which
+		// the drive keeps streaming ahead. Track and cylinder switches
+		// inside the stream are hidden by the format's skew.
+		bytes := float64(nsect * g.SectorSize)
+		busT := bytes / d.p.BusRate
+		mediaT := float64(lba+int64(nsect)-d.raFrom) * g.SectorTime()
+		t := busT
+		if mediaT > t {
+			t = mediaT
+		}
+		d.now += t
+		d.stats.TransferTime += t
+		d.advanceReadAhead(lba, nsect)
+		return
+	}
+	d.mechanicalTransfer(lba, nsect)
+	d.advanceReadAhead(lba, nsect)
+}
+
+// bufferHit reports whether a read of [lba, lba+nsect) is served by the
+// drive's read-ahead: it must start at or a short forward gap past the
+// stream position, and fit within the buffer.
+func (d *Disk) bufferHit(lba int64, nsect int) bool {
+	if !d.raValid || d.p.TrackBuffer == 0 {
+		return false
+	}
+	if lba < d.raFrom {
+		return false // backward: the stream has moved on
+	}
+	gap := lba - d.raFrom
+	if gap > int64(d.p.ReadAheadSlack) {
+		return false
+	}
+	bufSectors := int64(d.p.TrackBuffer / d.p.Geom.SectorSize)
+	return gap+int64(nsect) <= bufSectors
+}
+
+// advanceReadAhead records that the drive is now streaming from the end
+// of this read.
+func (d *Disk) advanceReadAhead(lba int64, nsect int) {
+	end := lba + int64(nsect)
+	d.raValid = true
+	d.raFrom = end
+	if end < d.p.Geom.TotalSectors() {
+		d.raCyl = d.p.Geom.Locate(end).Cyl
+	}
+	d.curCyl = d.p.Geom.Locate(end - 1).Cyl
+}
+
+// mechanicalTransfer performs seek + rotational latency + media
+// transfer for one request. Track and cylinder boundaries crossed
+// mid-transfer cost nothing extra: the disk's format skew exists
+// precisely to let sequential transfers stream across them, and
+// charging them here would silently shift the rotational phase that
+// the lost-rotation write behaviour depends on.
+func (d *Disk) mechanicalTransfer(lba int64, nsect int) {
+	g := d.p.Geom
+	loc := g.Locate(lba)
+
+	// Seek.
+	dist := loc.Cyl - d.curCyl
+	if dist < 0 {
+		dist = -dist
+	}
+	st := d.p.Seek.Time(dist)
+	if dist == 0 && st == 0 {
+		// Same cylinder: a head switch may still be needed; charge it
+		// unconditionally at half weight as an average over "same head"
+		// and "different head" cases, keeping the model deterministic
+		// without tracking the active head.
+		st = d.p.HeadSwitch / 2
+	}
+	d.now += st
+	d.stats.SeekTime += st
+	if dist > 0 {
+		d.stats.SeekCount++
+		d.stats.CylindersTraveled += int64(dist)
+	}
+	d.curCyl = loc.Cyl
+
+	// Rotational latency: wait for the start sector to come around.
+	cur := d.angleSectors()
+	target := float64(loc.Sect)
+	waitSectors := target - cur
+	if waitSectors < 0 {
+		waitSectors += float64(g.SectorsPerTrack)
+	}
+	rot := waitSectors * g.SectorTime()
+	d.now += rot
+	d.stats.RotTime += rot
+
+	// Media transfer; skew hides boundary crossings.
+	xfer := float64(nsect) * g.SectorTime()
+	// The host transfer overlaps the media transfer via the drive
+	// buffer; the slower of the two dominates.
+	busT := float64(nsect*g.SectorSize) / d.p.BusRate
+	if busT > xfer {
+		xfer = busT
+	}
+	d.now += xfer
+	d.stats.TransferTime += xfer
+	d.curCyl = g.Locate(lba + int64(nsect) - 1).Cyl
+}

@@ -1,0 +1,241 @@
+package disk
+
+import (
+	"math"
+	"testing"
+)
+
+func newTestDisk() *Disk { return New(PaperParams()) }
+
+func TestNewPanicsOnBadParams(t *testing.T) {
+	p := PaperParams()
+	p.MaxTransfer = 1000 // not sector aligned
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("bad MaxTransfer did not panic")
+			}
+		}()
+		New(p)
+	}()
+}
+
+func TestIdleAdvancesClock(t *testing.T) {
+	d := newTestDisk()
+	d.Idle(0.5)
+	if d.Now() != 0.5 {
+		t.Errorf("Now = %v", d.Now())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("negative idle did not panic")
+		}
+	}()
+	d.Idle(-1)
+}
+
+func TestSingleReadCost(t *testing.T) {
+	d := newTestDisk()
+	// 8 KB read at a random spot: overhead + seek + rotation + transfer.
+	dur := d.Read(500000, 16)
+	p := d.Params()
+	min := p.CtlOverhead + 16*p.Geom.SectorTime()
+	max := p.CtlOverhead + p.Seek.Time(p.Seek.MaxDistance()) +
+		p.Geom.RotationPeriod() + 17*p.Geom.SectorTime() + p.HeadSwitch
+	if dur < min || dur > max {
+		t.Errorf("read duration %v outside [%v,%v]", dur, min, max)
+	}
+	st := d.Stats()
+	if st.Reads != 1 || st.SectorsRead != 16 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestSequentialReadsHitReadAhead(t *testing.T) {
+	d := newTestDisk()
+	d.Read(100000, 128) // prime the stream (64 KB)
+	dur := d.Read(100128, 128)
+	st := d.Stats()
+	if st.BufferHits != 1 {
+		t.Fatalf("BufferHits = %d, want 1", st.BufferHits)
+	}
+	// A buffered 64 KB read should take about media/bus time, far less
+	// than a rotation + seek.
+	p := d.Params()
+	maxOK := p.CtlOverhead + 128*p.Geom.SectorTime() + 3*p.HeadSwitch + p.Seek.Time(1)
+	if dur > maxOK {
+		t.Errorf("buffered read took %v, want <= %v", dur, maxOK)
+	}
+}
+
+func TestReadAheadSkipsSmallForwardGap(t *testing.T) {
+	d := newTestDisk()
+	d.Read(100000, 128)
+	// Skip 16 sectors forward (a small layout hole) — still buffered.
+	d.Read(100144, 128)
+	if st := d.Stats(); st.BufferHits != 1 {
+		t.Errorf("BufferHits = %d, want 1 (small forward gap)", st.BufferHits)
+	}
+	// A big jump misses.
+	d.Read(900000, 128)
+	if st := d.Stats(); st.BufferHits != 1 {
+		t.Errorf("BufferHits = %d after far jump, want still 1", st.BufferHits)
+	}
+	// Backward read misses.
+	d.Read(100000, 16)
+	if st := d.Stats(); st.BufferHits != 1 {
+		t.Errorf("BufferHits = %d after backward read, want still 1", st.BufferHits)
+	}
+}
+
+func TestWriteInvalidatesReadAhead(t *testing.T) {
+	d := newTestDisk()
+	d.Read(100000, 128)
+	d.Write(500000, 16)
+	d.Read(100128, 128) // would have been a hit
+	if st := d.Stats(); st.BufferHits != 0 {
+		t.Errorf("BufferHits = %d, want 0 after intervening write", st.BufferHits)
+	}
+}
+
+// The paper's central write effect: back-to-back sequential writes lose
+// most of a rotation per request, so sequential write throughput is far
+// below sequential read throughput.
+func TestSequentialWriteLosesRotation(t *testing.T) {
+	d := newTestDisk()
+	p := d.Params()
+	d.Write(100000, 128) // position the head; angle now just past the end
+	second := d.Write(100128, 128)
+	// The second write should cost at least ~0.75 of a rotation of pure
+	// latency beyond overhead+transfer.
+	lat := second - p.CtlOverhead - 128*p.Geom.SectorTime() - p.HeadSwitch
+	if lat < 0.75*p.Geom.RotationPeriod() {
+		t.Errorf("sequential write rotational loss = %v, want >= 0.75 rev (%v)",
+			lat, p.Geom.RotationPeriod())
+	}
+}
+
+func TestReadFarFasterThanWriteSequential(t *testing.T) {
+	d := newTestDisk()
+	part := PaperPartition(d)
+	read := part.RawThroughput(8<<20, 64<<10, false)
+	write := part.RawThroughput(8<<20, 64<<10, true)
+	if read < 1.5*write {
+		t.Errorf("raw read %v not ≫ raw write %v", read, write)
+	}
+	// Raw read should be near the media rate (within 25%).
+	if mr := d.Params().Geom.MediaRate(); read < 0.75*mr {
+		t.Errorf("raw read %v too far below media rate %v", read, mr)
+	}
+}
+
+func TestMaxTransferSplitting(t *testing.T) {
+	d := newTestDisk()
+	// 256 KB = 4 × 64 KB requests.
+	d.Read(100000, 512)
+	if st := d.Stats(); st.Reads != 4 {
+		t.Errorf("Reads = %d, want 4 after splitting", st.Reads)
+	}
+}
+
+func TestAccessValidation(t *testing.T) {
+	d := newTestDisk()
+	for name, f := range map[string]func(){
+		"zero length":  func() { d.Read(0, 0) },
+		"negative lba": func() { d.Read(-1, 1) },
+		"past end":     func() { d.Write(d.Params().Geom.TotalSectors()-1, 2) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	d := newTestDisk()
+	d.Read(100000, 16)
+	d.Write(900000, 16)
+	st := d.Stats()
+	if st.SeekCount < 1 {
+		t.Errorf("SeekCount = %d", st.SeekCount)
+	}
+	total := st.SeekTime + st.RotTime + st.TransferTime + st.OverheadTime
+	if math.Abs(total-d.Now()) > 1e-9 {
+		t.Errorf("stats sum %v != clock %v", total, d.Now())
+	}
+	d.ResetStats()
+	if d.Stats() != (Stats{}) {
+		t.Error("ResetStats did not zero")
+	}
+	if d.Now() == 0 {
+		t.Error("ResetStats should not reset clock")
+	}
+}
+
+func TestPartitionMapping(t *testing.T) {
+	d := newTestDisk()
+	p := NewPartition(d, 1000, 2048)
+	if p.Bytes() != 2048*512 {
+		t.Errorf("Bytes = %d", p.Bytes())
+	}
+	if p.Disk() != d {
+		t.Error("Disk() mismatch")
+	}
+	p.Read(0, 1024)
+	p.Write(512, 512)
+	for name, f := range map[string]func(){
+		"unaligned offset": func() { p.Read(100, 512) },
+		"unaligned length": func() { p.Read(0, 100) },
+		"past end":         func() { p.Read(2048*512-512, 1024) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestPaperPartitionSize(t *testing.T) {
+	d := newTestDisk()
+	p := PaperPartition(d)
+	if p.Bytes() != 502<<20 {
+		t.Errorf("paper partition = %d bytes, want 502MB", p.Bytes())
+	}
+}
+
+func TestNewPartitionBounds(t *testing.T) {
+	d := newTestDisk()
+	defer func() {
+		if recover() == nil {
+			t.Error("oversize partition did not panic")
+		}
+	}()
+	NewPartition(d, d.Params().Geom.TotalSectors()-10, 20)
+}
+
+// Raw write throughput should sit near bytes/(transfer+rotation) per
+// request — the "lost rotation" régime the paper describes.
+func TestRawWriteMatchesLostRotationModel(t *testing.T) {
+	d := newTestDisk()
+	part := PaperPartition(d)
+	got := part.RawThroughput(8<<20, 64<<10, true)
+	p := d.Params()
+	reqBytes := 64.0 * 1024
+	xfer := reqBytes / p.Geom.MediaRate()
+	// Expected period per request ≈ overhead + rotational realignment +
+	// transfer; realignment averages most of a revolution.
+	loT := reqBytes / (p.CtlOverhead + p.Geom.RotationPeriod() + xfer + 3*p.HeadSwitch)
+	hiT := reqBytes / (p.CtlOverhead + 0.5*p.Geom.RotationPeriod() + xfer)
+	if got < 0.8*loT || got > 1.2*hiT {
+		t.Errorf("raw write %v outside lost-rotation band [%v,%v]", got, loT, hiT)
+	}
+}

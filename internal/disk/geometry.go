@@ -1,0 +1,93 @@
+// Package disk models the benchmark machine's storage stack — a Seagate
+// ST32430N behind a BusLogic 946C SCSI controller on a PCI bus (Table 1
+// of the paper) — at the level of detail the paper's performance effects
+// require: a seek-time curve, rotational position that advances with
+// simulated time, track-buffer read-ahead on reads, no write-behind on
+// writes, and a 64 KB controller transfer limit.
+//
+// Two effects central to the paper fall out of this model rather than
+// being special-cased:
+//
+//   - back-to-back writes of physically contiguous data lose a full
+//     rotation per request (the disk rotates past the target sector while
+//     the next command is issued), which is why the paper's realloc file
+//     systems can out-write the raw device; and
+//   - sequential reads do not lose rotations, because the drive's track
+//     buffer keeps reading ahead.
+package disk
+
+import "fmt"
+
+// Geometry describes the physical layout of a disk. The model treats
+// sectors-per-track as constant (the ST32430N is zoned; the paper quotes
+// the average, 116, which we adopt for determinism — see DESIGN.md §2).
+type Geometry struct {
+	Cylinders       int // seek distance domain
+	Heads           int // tracks per cylinder
+	SectorsPerTrack int
+	SectorSize      int // bytes
+	RPM             int
+}
+
+// ST32430N returns the paper's disk geometry (Table 1, hardware columns).
+func ST32430N() Geometry {
+	return Geometry{
+		Cylinders:       3992,
+		Heads:           9,
+		SectorsPerTrack: 116,
+		SectorSize:      512,
+		RPM:             5411,
+	}
+}
+
+// TotalSectors returns the number of addressable sectors.
+func (g Geometry) TotalSectors() int64 {
+	return int64(g.Cylinders) * int64(g.Heads) * int64(g.SectorsPerTrack)
+}
+
+// TotalBytes returns the capacity in bytes.
+func (g Geometry) TotalBytes() int64 {
+	return g.TotalSectors() * int64(g.SectorSize)
+}
+
+// RotationPeriod returns the time of one revolution in seconds.
+func (g Geometry) RotationPeriod() float64 {
+	return 60.0 / float64(g.RPM)
+}
+
+// SectorTime returns the media time to pass one sector under the head.
+func (g Geometry) SectorTime() float64 {
+	return g.RotationPeriod() / float64(g.SectorsPerTrack)
+}
+
+// MediaRate returns the sustained media transfer rate in bytes/second.
+func (g Geometry) MediaRate() float64 {
+	return float64(g.SectorsPerTrack*g.SectorSize) / g.RotationPeriod()
+}
+
+// Chs is a cylinder/head/sector address.
+type Chs struct {
+	Cyl, Head, Sect int
+}
+
+// Locate maps a logical block address to its cylinder/head/sector.
+func (g Geometry) Locate(lba int64) Chs {
+	if lba < 0 || lba >= g.TotalSectors() {
+		panic(fmt.Sprintf("disk: lba %d out of range [0,%d)", lba, g.TotalSectors()))
+	}
+	spc := int64(g.Heads) * int64(g.SectorsPerTrack)
+	return Chs{
+		Cyl:  int(lba / spc),
+		Head: int((lba % spc) / int64(g.SectorsPerTrack)),
+		Sect: int(lba % int64(g.SectorsPerTrack)),
+	}
+}
+
+// Lba maps a cylinder/head/sector address back to a logical block address.
+func (g Geometry) Lba(c Chs) int64 {
+	if c.Cyl < 0 || c.Cyl >= g.Cylinders || c.Head < 0 || c.Head >= g.Heads ||
+		c.Sect < 0 || c.Sect >= g.SectorsPerTrack {
+		panic(fmt.Sprintf("disk: bad chs %+v", c))
+	}
+	return (int64(c.Cyl)*int64(g.Heads)+int64(c.Head))*int64(g.SectorsPerTrack) + int64(c.Sect)
+}

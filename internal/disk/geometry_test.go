@@ -1,0 +1,126 @@
+package disk
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestST32430NBasics(t *testing.T) {
+	g := ST32430N()
+	if got := g.TotalBytes(); got < 2_000_000_000 || got > 2_200_000_000 {
+		t.Errorf("capacity = %d, want ~2.1GB", got)
+	}
+	// 5411 RPM → 11.09 ms/rev.
+	if rp := g.RotationPeriod(); math.Abs(rp-0.011088) > 1e-4 {
+		t.Errorf("rotation period = %v, want ~11.09ms", rp)
+	}
+	// Media rate ≈ 116*512/11.09ms ≈ 5.36 MB/s.
+	if mr := g.MediaRate(); mr < 5.0e6 || mr > 5.7e6 {
+		t.Errorf("media rate = %v, want ~5.36 MB/s", mr)
+	}
+}
+
+func TestLocateLbaRoundTrip(t *testing.T) {
+	g := ST32430N()
+	cases := []int64{0, 1, 115, 116, 116*9 - 1, 116 * 9, g.TotalSectors() - 1}
+	for _, lba := range cases {
+		chs := g.Locate(lba)
+		if back := g.Lba(chs); back != lba {
+			t.Errorf("round trip %d → %+v → %d", lba, chs, back)
+		}
+	}
+	if got := g.Locate(0); got != (Chs{0, 0, 0}) {
+		t.Errorf("Locate(0) = %+v", got)
+	}
+	if got := g.Locate(116 * 9); got != (Chs{1, 0, 0}) {
+		t.Errorf("Locate(spc) = %+v", got)
+	}
+}
+
+func TestLocatePanics(t *testing.T) {
+	g := ST32430N()
+	for _, lba := range []int64{-1, g.TotalSectors()} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Locate(%d) did not panic", lba)
+				}
+			}()
+			g.Locate(lba)
+		}()
+	}
+}
+
+func TestQuickLocateRoundTrip(t *testing.T) {
+	g := ST32430N()
+	f := func(seed int64) bool {
+		lba := rand.New(rand.NewSource(seed)).Int63n(g.TotalSectors())
+		return g.Lba(g.Locate(lba)) == lba
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSeekCurveFitsAnchors(t *testing.T) {
+	s := ST32430NSeek()
+	g := ST32430N()
+	if got := s.Time(0); got != 0 {
+		t.Errorf("Time(0) = %v", got)
+	}
+	if got := s.Time(1); math.Abs(got-1.7e-3) > 1e-6 {
+		t.Errorf("Time(1) = %v, want 1.7ms", got)
+	}
+	if got := s.Time(g.Cylinders / 3); math.Abs(got-11e-3) > 1e-5 {
+		t.Errorf("Time(avg) = %v, want 11ms", got)
+	}
+	if got := s.Time(g.Cylinders - 1); math.Abs(got-21e-3) > 1e-5 {
+		t.Errorf("Time(full) = %v, want 21ms", got)
+	}
+	if s.MaxDistance() != g.Cylinders-1 {
+		t.Errorf("MaxDistance = %d", s.MaxDistance())
+	}
+}
+
+func TestSeekCurveMonotoneNonNegative(t *testing.T) {
+	s := ST32430NSeek()
+	prev := 0.0
+	for d := 1; d <= s.MaxDistance(); d += 7 {
+		tm := s.Time(d)
+		if tm <= 0 {
+			t.Fatalf("Time(%d) = %v, non-positive", d, tm)
+		}
+		if tm+1e-9 < prev {
+			t.Fatalf("Time(%d) = %v < Time(prev) = %v", d, tm, prev)
+		}
+		prev = tm
+	}
+	// Symmetric in sign.
+	if s.Time(-100) != s.Time(100) {
+		t.Error("seek not symmetric in direction")
+	}
+}
+
+func TestFitSeekCurvePanics(t *testing.T) {
+	cases := []struct {
+		name                  string
+		cyl                   int
+		single, average, full float64
+	}{
+		{"few cylinders", 4, 1e-3, 2e-3, 3e-3},
+		{"non-increasing", 1000, 2e-3, 2e-3, 3e-3},
+		{"zero single", 1000, 0, 2e-3, 3e-3},
+	}
+	for _, c := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", c.name)
+				}
+			}()
+			FitSeekCurve(c.cyl, c.single, c.average, c.full)
+		}()
+	}
+}

@@ -1,0 +1,110 @@
+package disk
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestQueueFCFSMatchesDirectCalls(t *testing.T) {
+	direct := New(PaperParams())
+	queued := New(PaperParams())
+	q := NewQueue(queued, FCFS)
+	lbas := []int64{500000, 100000, 900000, 100128}
+	want := 0.0
+	for _, lba := range lbas {
+		want += direct.Write(lba, 16)
+		q.Submit(lba, 16, true)
+	}
+	if got := q.Drain(); got != want {
+		t.Errorf("FCFS drain %v, direct %v", got, want)
+	}
+	if q.Len() != 0 {
+		t.Errorf("queue not empty after drain")
+	}
+}
+
+func TestElevatorBeatsFCFSOnScatteredWrites(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var lbas []int64
+	for i := 0; i < 200; i++ {
+		lbas = append(lbas, rng.Int63n(3_000_000))
+	}
+	run := func(disc Discipline) float64 {
+		d := New(PaperParams())
+		q := NewQueue(d, disc)
+		for _, lba := range lbas {
+			q.Submit(lba, 16, true)
+		}
+		return q.Drain()
+	}
+	fcfs, elev := run(FCFS), run(Elevator)
+	if elev >= fcfs {
+		t.Errorf("elevator %v not faster than fcfs %v on scattered writes", elev, fcfs)
+	}
+	// The sorted sweep should cut seek time substantially.
+	if elev > 0.8*fcfs {
+		t.Errorf("elevator %v saved <20%% over fcfs %v", elev, fcfs)
+	}
+}
+
+func TestCoalesceMergesAdjacent(t *testing.T) {
+	reqs := []queuedReq{
+		{lba: 100, nsect: 16, write: true},
+		{lba: 116, nsect: 16, write: true},  // adjacent, same kind → merge
+		{lba: 132, nsect: 16, write: false}, // adjacent, different kind
+		{lba: 200, nsect: 16, write: true},  // gap
+	}
+	out := coalesce(reqs)
+	if len(out) != 3 {
+		t.Fatalf("%d requests after coalesce, want 3", len(out))
+	}
+	if out[0].nsect != 32 {
+		t.Errorf("merged nsect = %d, want 32", out[0].nsect)
+	}
+}
+
+func TestCoalesceRecoversRotations(t *testing.T) {
+	// 8 adjacent 8 KB writes, submitted in order: uncoalesced, each
+	// pays its own rotational realignment; coalesced they become one
+	// 64 KB transfer.
+	run := func(disc Discipline) float64 {
+		d := New(PaperParams())
+		q := NewQueue(d, disc)
+		for i := int64(0); i < 8; i++ {
+			q.Submit(1_000_000+16*i, 16, true)
+		}
+		return q.Drain()
+	}
+	plain, merged := run(Elevator), run(ElevatorCoalesce)
+	if merged >= plain/3 {
+		t.Errorf("coalesced %v not ≪ elevator %v", merged, plain)
+	}
+}
+
+func TestQueueValidation(t *testing.T) {
+	d := New(PaperParams())
+	defer func() {
+		if recover() == nil {
+			t.Error("bad request accepted")
+		}
+	}()
+	NewQueue(d, FCFS).Submit(-1, 16, true)
+}
+
+func TestDisciplineString(t *testing.T) {
+	if FCFS.String() != "fcfs" || Elevator.String() != "elevator" ||
+		ElevatorCoalesce.String() != "elevator+coalesce" {
+		t.Error("discipline names")
+	}
+	if Discipline(9).String() == "" {
+		t.Error("unknown discipline name empty")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("bad discipline accepted")
+		}
+	}()
+	NewQueue(d(), Discipline(9))
+}
+
+func d() *Disk { return New(PaperParams()) }

@@ -1,0 +1,95 @@
+package disk
+
+import (
+	"fmt"
+	"math"
+)
+
+// SeekCurve models seek time as t(d) = a + b·√d + c·d for a seek of d
+// cylinders (d ≥ 1; t(0) = 0). The three coefficients are fitted to the
+// drive's single-cylinder, average (one-third stroke), and full-stroke
+// seek times, the three numbers drive vendors published in the era.
+type SeekCurve struct {
+	a, b, c   float64
+	cylinders int
+}
+
+// FitSeekCurve solves for the curve passing through
+// (1, single), (cylinders/3, average), (cylinders-1, full).
+// Times are in seconds. It panics when the inputs are not increasing or
+// the system is singular (which cannot happen for distinct positive
+// distances).
+func FitSeekCurve(cylinders int, single, average, full float64) SeekCurve {
+	if cylinders < 16 {
+		panic(fmt.Sprintf("disk: too few cylinders %d for seek fit", cylinders))
+	}
+	if !(0 < single && single < average && average < full) {
+		panic(fmt.Sprintf("disk: seek times not increasing: %v %v %v", single, average, full))
+	}
+	d1, d2, d3 := 1.0, float64(cylinders)/3, float64(cylinders-1)
+	// Solve the 3x3 linear system
+	//   a + b√di + c·di = ti
+	// by Gaussian elimination.
+	m := [3][4]float64{
+		{1, math.Sqrt(d1), d1, single},
+		{1, math.Sqrt(d2), d2, average},
+		{1, math.Sqrt(d3), d3, full},
+	}
+	for col := 0; col < 3; col++ {
+		// Partial pivot.
+		piv := col
+		for r := col + 1; r < 3; r++ {
+			if math.Abs(m[r][col]) > math.Abs(m[piv][col]) {
+				piv = r
+			}
+		}
+		m[col], m[piv] = m[piv], m[col]
+		if math.Abs(m[col][col]) < 1e-12 {
+			panic("disk: singular seek fit")
+		}
+		for r := 0; r < 3; r++ {
+			if r == col {
+				continue
+			}
+			f := m[r][col] / m[col][col]
+			for k := col; k < 4; k++ {
+				m[r][k] -= f * m[col][k]
+			}
+		}
+	}
+	return SeekCurve{
+		a:         m[0][3] / m[0][0],
+		b:         m[1][3] / m[1][1],
+		c:         m[2][3] / m[2][2],
+		cylinders: cylinders,
+	}
+}
+
+// ST32430NSeek returns the seek curve used throughout the reproduction:
+// average 11 ms (Table 1), with era-typical 1.7 ms track-to-track and
+// 21 ms full-stroke endpoints.
+func ST32430NSeek() SeekCurve {
+	return FitSeekCurve(ST32430N().Cylinders, 1.7e-3, 11e-3, 21e-3)
+}
+
+// Time returns the seek time in seconds for a move of d cylinders.
+// Negative distances are folded; a zero-distance seek is free. The curve
+// is clamped below at 40% of the single-cylinder time so that a poor fit
+// can never return a negative or absurdly small positive time.
+func (s SeekCurve) Time(d int) float64 {
+	if d < 0 {
+		d = -d
+	}
+	if d == 0 {
+		return 0
+	}
+	t := s.a + s.b*math.Sqrt(float64(d)) + s.c*float64(d)
+	min := 0.4 * (s.a + s.b + s.c) // 40% of t(1)
+	if t < min {
+		t = min
+	}
+	return t
+}
+
+// MaxDistance returns the largest meaningful seek distance.
+func (s SeekCurve) MaxDistance() int { return s.cylinders - 1 }

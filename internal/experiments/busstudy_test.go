@@ -1,0 +1,35 @@
+package experiments
+
+import "testing"
+
+// The §5.1 argument: the faster host path shows a larger *relative*
+// benefit from good layout than the SparcStation-class path.
+func TestBusStudy(t *testing.T) {
+	s := sharedQuick(t)
+	rs, err := BusStudy(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 2 {
+		t.Fatalf("%d results", len(rs))
+	}
+	pci, sparc := rs[0], rs[1]
+	t.Logf("PCI: ffs %.2f → realloc %.2f MB/s (+%.0f%%); SS1: %.2f → %.2f (+%.0f%%)",
+		pci.ReadFFS/1e6, pci.ReadRealloc/1e6, 100*pci.Gain(),
+		sparc.ReadFFS/1e6, sparc.ReadRealloc/1e6, 100*sparc.Gain())
+	// Absolute throughput collapses behind the slow bus.
+	if sparc.ReadFFS >= pci.ReadFFS {
+		t.Error("slow bus not slower")
+	}
+	if sparc.ReadFFS > 1.6e6 {
+		t.Errorf("SS1 read %.2f MB/s exceeds its bus", sparc.ReadFFS/1e6)
+	}
+	// The relative layout benefit shrinks on the slow path.
+	if sparc.Gain() >= pci.Gain() {
+		t.Errorf("SS1 relative gain %.2f not below PCI %.2f", sparc.Gain(), pci.Gain())
+	}
+	// Both paths still favour realloc.
+	if sparc.Gain() <= 0 || pci.Gain() <= 0 {
+		t.Error("realloc not faster on some path")
+	}
+}

@@ -1,0 +1,316 @@
+// Package experiments orchestrates the paper's complete evaluation:
+// every table and figure has one entry point here, shared by the repro
+// binary and the repository's benchmark suite. A Suite holds the
+// expensive shared state (the generated workload and the two aged
+// images) and computes each exhibit lazily.
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"ffsage/internal/aging"
+	"ffsage/internal/bench"
+	"ffsage/internal/core"
+	"ffsage/internal/disk"
+	"ffsage/internal/ffs"
+	"ffsage/internal/layout"
+	"ffsage/internal/stats"
+	"ffsage/internal/trace"
+	"ffsage/internal/workload"
+)
+
+// Config scopes a reproduction run. Full is the paper-scale setup;
+// Quick is a reduced configuration for fast iteration and the unit
+// benchmark suite.
+type Config struct {
+	Seed        int64
+	FsParams    ffs.Params
+	WorkloadCfg workload.Config
+	NFSCfg      workload.NFSTraceConfig
+	DiskParams  disk.Params
+	// BenchTotal is the sequential benchmark corpus (32 MB in the
+	// paper); BenchSizes the file-size sweep.
+	BenchTotal int64
+	BenchSizes []int64
+	// HotWindow is the hot-set recency window in days (one month).
+	HotWindow int
+}
+
+// Full returns the paper-scale configuration.
+func Full(seed int64) Config {
+	return Config{
+		Seed:        seed,
+		FsParams:    ffs.PaperParams(),
+		WorkloadCfg: workload.DefaultConfig(seed),
+		NFSCfg:      workload.DefaultNFSTraceConfig(seed + 1),
+		DiskParams:  disk.PaperParams(),
+		BenchTotal:  32 << 20,
+		BenchSizes:  bench.PaperSizes(),
+		HotWindow:   30,
+	}
+}
+
+// Quick returns a scaled-down configuration: a 128 MB file system aged
+// for 60 days, an 8 MB benchmark corpus, and a coarser size sweep. The
+// qualitative effects (policy gap, indirect cliff, hot-set contrast)
+// all survive the scaling.
+func Quick(seed int64) Config {
+	fp := ffs.PaperParams()
+	fp.SizeBytes = 128 << 20
+	fp.NumCg = 12
+	wc := workload.DefaultConfig(seed)
+	wc.Days = 60
+	wc.NumCg = fp.NumCg
+	wc.FsBytes = fp.SizeBytes
+	wc.RampDays = 15
+	wc.ChurnBytesPerDay = 26 << 20
+	wc.ShortPairsPerDay = 180
+	wc.LongSize.MaxBytes = 8 << 20
+	nc := workload.DefaultNFSTraceConfig(seed + 1)
+	nc.PairsPerDay = 150
+	kb := func(n int64) int64 { return n << 10 }
+	return Config{
+		Seed:        seed,
+		FsParams:    fp,
+		WorkloadCfg: wc,
+		NFSCfg:      nc,
+		DiskParams:  disk.PaperParams(),
+		BenchTotal:  8 << 20,
+		BenchSizes:  []int64{kb(16), kb(32), kb(64), kb(96), kb(104), kb(256), kb(1024), kb(4096)},
+		HotWindow:   12,
+	}
+}
+
+// Suite holds the shared state of one reproduction run.
+type Suite struct {
+	Cfg   Config
+	Build *workload.Build
+
+	// AgedFFS and AgedRealloc are replays of the reconstructed aging
+	// workload under the two policies — the paper's two test systems.
+	AgedFFS     *aging.Result
+	AgedRealloc *aging.Result
+	// RealFFS replays the ground-truth stream; it stands in for the
+	// paper's original file server in Figure 1.
+	RealFFS *aging.Result
+
+	fig4 *Fig4Data
+}
+
+// NewSuite generates the workload and ages the three file systems.
+// The replays are independent simulations on separate file systems, so
+// they run concurrently.
+func NewSuite(cfg Config) (*Suite, error) {
+	b, err := workload.BuildWorkload(cfg.WorkloadCfg, cfg.NFSCfg)
+	if err != nil {
+		return nil, err
+	}
+	s := &Suite{Cfg: cfg, Build: b}
+	runs := []struct {
+		name   string
+		policy ffs.Policy
+		wl     *trace.Workload
+		dst    **aging.Result
+	}{
+		{"aging under ffs", core.Original{}, b.Reconstructed, &s.AgedFFS},
+		{"aging under realloc", core.Realloc{}, b.Reconstructed, &s.AgedRealloc},
+		{"aging ground truth", core.Original{}, b.Reference.GroundTruth, &s.RealFFS},
+	}
+	errs := make([]error, len(runs))
+	var wg sync.WaitGroup
+	for i := range runs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r := runs[i]
+			res, err := aging.Replay(cfg.FsParams, r.policy, r.wl, aging.Options{})
+			if err != nil {
+				errs[i] = fmt.Errorf("%s: %w", r.name, err)
+				return
+			}
+			*r.dst = res
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// Days returns the simulated period length.
+func (s *Suite) Days() int { return s.Cfg.WorkloadCfg.Days }
+
+// hotFromDay returns the first day of the hot window.
+func (s *Suite) hotFromDay() int { return s.Days() - s.Cfg.HotWindow }
+
+// Fig1 returns the aging-validation series: the "real" system (ground
+// truth) and the "simulated" one (snapshot-reconstructed workload),
+// both under the original allocator, as in the paper's Figure 1.
+func (s *Suite) Fig1() (real, sim stats.Series) {
+	return s.RealFFS.LayoutByDay, s.AgedFFS.LayoutByDay
+}
+
+// Fig2 returns the aggregate layout series of the two policies over the
+// aging period.
+func (s *Suite) Fig2() (orig, realloc stats.Series) {
+	return s.AgedFFS.LayoutByDay, s.AgedRealloc.LayoutByDay
+}
+
+// sizeBuckets returns the x axis of the by-size figures.
+func (s *Suite) sizeBuckets() []stats.SizeBucket {
+	return stats.PowerOfTwoBuckets(16<<10, 16<<20)
+}
+
+// Fig3 returns layout score by file size for the files living on the
+// two aged images.
+func (s *Suite) Fig3() (orig, realloc []stats.SizeBucket) {
+	fpb := s.Cfg.FsParams.FragsPerBlock()
+	orig = layout.BySize(layout.AllFiles(s.AgedFFS.Fs), fpb, s.sizeBuckets())
+	realloc = layout.BySize(layout.AllFiles(s.AgedRealloc.Fs), fpb, s.sizeBuckets())
+	return orig, realloc
+}
+
+// Fig4Data is the sequential I/O sweep on both aged images plus the
+// raw-device reference lines (bytes/second).
+type Fig4Data struct {
+	Orig     []bench.SeqResult
+	Realloc  []bench.SeqResult
+	RawRead  float64
+	RawWrite float64
+}
+
+// Fig4 runs (once) and returns the sequential benchmark sweep.
+func (s *Suite) Fig4() (*Fig4Data, error) {
+	if s.fig4 != nil {
+		return s.fig4, nil
+	}
+	day := s.Days()
+	orig, err := bench.SequentialSweep(s.AgedFFS.Fs, s.Cfg.DiskParams, s.Cfg.BenchSizes, s.Cfg.BenchTotal, day)
+	if err != nil {
+		return nil, fmt.Errorf("sweep on ffs image: %w", err)
+	}
+	re, err := bench.SequentialSweep(s.AgedRealloc.Fs, s.Cfg.DiskParams, s.Cfg.BenchSizes, s.Cfg.BenchTotal, day)
+	if err != nil {
+		return nil, fmt.Errorf("sweep on realloc image: %w", err)
+	}
+	s.fig4 = &Fig4Data{
+		Orig:     orig,
+		Realloc:  re,
+		RawRead:  bench.RawThroughput(s.Cfg.FsParams.SizeBytes, s.Cfg.DiskParams, s.Cfg.BenchTotal, false),
+		RawWrite: bench.RawThroughput(s.Cfg.FsParams.SizeBytes, s.Cfg.DiskParams, s.Cfg.BenchTotal, true),
+	}
+	return s.fig4, nil
+}
+
+// Fig5 returns the layout scores of the benchmark-created files, one
+// point per swept size (it shares Fig4's run).
+func (s *Suite) Fig5() (orig, realloc []bench.SeqResult, err error) {
+	d, err := s.Fig4()
+	if err != nil {
+		return nil, nil, err
+	}
+	return d.Orig, d.Realloc, nil
+}
+
+// Table2 runs the hot-file benchmark on both images.
+func (s *Suite) Table2() (orig, realloc bench.HotResult, err error) {
+	orig, err = bench.HotFiles(s.AgedFFS.Fs, s.Cfg.DiskParams, s.hotFromDay())
+	if err != nil {
+		return
+	}
+	realloc, err = bench.HotFiles(s.AgedRealloc.Fs, s.Cfg.DiskParams, s.hotFromDay())
+	return
+}
+
+// Fig6 returns the hot files' layout by size on both images (the
+// sequential-benchmark overlay comes from Fig5).
+func (s *Suite) Fig6() (orig, realloc []stats.SizeBucket) {
+	fpb := s.Cfg.FsParams.FragsPerBlock()
+	orig = layout.BySize(layout.HotFiles(s.AgedFFS.Fs, s.hotFromDay()), fpb, s.sizeBuckets())
+	realloc = layout.BySize(layout.HotFiles(s.AgedRealloc.Fs, s.hotFromDay()), fpb, s.sizeBuckets())
+	return orig, realloc
+}
+
+// Table1Row is one line of the benchmark-configuration table.
+type Table1Row struct{ Section, Name, Value string }
+
+// Table1 reproduces the configuration table from the model parameters
+// actually in use.
+func (s *Suite) Table1() []Table1Row {
+	g := s.Cfg.DiskParams.Geom
+	fp := s.Cfg.FsParams
+	mb := func(b int64) string { return fmt.Sprintf("%d MB", b>>20) }
+	return []Table1Row{
+		{"Disk", "Disk Type", "Seagate ST32430N (model)"},
+		{"Disk", "Total Disk Space", fmt.Sprintf("%.1f GB", float64(g.TotalBytes())/1e9)},
+		{"Disk", "Rotational Speed", fmt.Sprintf("%d RPM", g.RPM)},
+		{"Disk", "Sector Size", fmt.Sprintf("%d Bytes", g.SectorSize)},
+		{"Disk", "Cylinders", fmt.Sprintf("%d", g.Cylinders)},
+		{"Disk", "Heads", fmt.Sprintf("%d", g.Heads)},
+		{"Disk", "Sectors per Track", fmt.Sprintf("%d (average)", g.SectorsPerTrack)},
+		{"Disk", "Track Buffer", fmt.Sprintf("%d KB", s.Cfg.DiskParams.TrackBuffer>>10)},
+		{"Disk", "Average Seek", fmt.Sprintf("%.0f ms", s.Cfg.DiskParams.Seek.Time(g.Cylinders/3)*1e3)},
+		{"Disk", "Max Transfer", fmt.Sprintf("%d KB", s.Cfg.DiskParams.MaxTransfer>>10)},
+		{"File System", "Size", mb(fp.SizeBytes)},
+		{"File System", "Fragment Size", fmt.Sprintf("%d KB", fp.FragSize>>10)},
+		{"File System", "Block Size", fmt.Sprintf("%d KB", fp.BlockSize>>10)},
+		{"File System", "Max. Cluster Size", fmt.Sprintf("%d KB", fp.ClusterBytes()>>10)},
+		{"File System", "Rotational Gap", fmt.Sprintf("%d", fp.RotDelay)},
+		{"File System", "Cylinder Groups", fmt.Sprintf("%d", fp.NumCg)},
+		{"File System", "Heads (fs notion)", fmt.Sprintf("%d", fp.LogicalHeads)},
+		{"File System", "Sectors per Track (fs notion)", fmt.Sprintf("%d", fp.LogicalSectors)},
+	}
+}
+
+// HeadlineNumbers are the paper's summary statistics for quick
+// comparison (Sections 4 and 5).
+type HeadlineNumbers struct {
+	Day1Orig, Day1Realloc   float64
+	FinalOrig, FinalRealloc float64
+	// NonOptimalImprovement is the reduction in non-optimally
+	// allocated blocks (paper: 56.8%).
+	NonOptimalImprovement float64
+	// SeekReduction is the drop in intra-file disk seeks on the aged
+	// images (the paper's §7 claim: "more than 50%").
+	SeekReduction float64
+	SeeksOrig     int
+	SeeksRealloc  int
+	// Fig1RealFinal / Fig1SimFinal are the validation endpoints
+	// (paper: 0.68 real vs 0.77 simulated).
+	Fig1RealFinal, Fig1SimFinal float64
+}
+
+// Headlines computes the summary comparison numbers.
+func (s *Suite) Headlines() HeadlineNumbers {
+	o, r := s.Fig2()
+	realSeries, sim := s.Fig1()
+	nonOptO := 1 - o.Final()
+	nonOptR := 1 - r.Final()
+	improvement := 0.0
+	if nonOptO > 0 {
+		improvement = (nonOptO - nonOptR) / nonOptO
+	}
+	fpb := s.Cfg.FsParams.FragsPerBlock()
+	seeksO := layout.IntraFileSeeks(layout.AllFiles(s.AgedFFS.Fs), fpb)
+	seeksR := layout.IntraFileSeeks(layout.AllFiles(s.AgedRealloc.Fs), fpb)
+	seekRed := 0.0
+	if seeksO > 0 {
+		seekRed = float64(seeksO-seeksR) / float64(seeksO)
+	}
+	return HeadlineNumbers{
+		Day1Orig:              o.At(o[0].Day),
+		Day1Realloc:           r.At(r[0].Day),
+		FinalOrig:             o.Final(),
+		FinalRealloc:          r.Final(),
+		NonOptimalImprovement: improvement,
+		SeekReduction:         seekRed,
+		SeeksOrig:             seeksO,
+		SeeksRealloc:          seeksR,
+		Fig1RealFinal:         realSeries.Final(),
+		Fig1SimFinal:          sim.Final(),
+	}
+}

@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"fmt"
+
+	"ffsage/internal/aging"
+	"ffsage/internal/bench"
+	"ffsage/internal/core"
+	"ffsage/internal/ffs"
+	"ffsage/internal/workload"
+)
+
+// ProfileResult compares the two allocation policies under one usage
+// pattern — the cross-workload study the paper's §6 proposes.
+type ProfileResult struct {
+	Profile workload.Profile
+	// Workload character actually generated.
+	Ops          int
+	BytesWritten int64
+	EndFiles     int
+
+	// Aged layout under each policy and the realloc advantage.
+	LayoutFFS     float64
+	LayoutRealloc float64
+	// Hot-set read throughput under each policy (bytes/second).
+	HotReadFFS     float64
+	HotReadRealloc float64
+}
+
+// RunProfile ages both policies under the given usage pattern at the
+// scale implied by cfg (days, fs size, groups are taken from cfg; the
+// activity shape from the profile).
+func RunProfile(cfg Config, p workload.Profile) (ProfileResult, error) {
+	if !workload.KnownProfile(p) {
+		return ProfileResult{}, fmt.Errorf("experiments: unknown profile %q", p)
+	}
+	wc := workload.ProfileConfig(p, cfg.Seed)
+	// Adopt the run's scale.
+	wc.Days = cfg.WorkloadCfg.Days
+	wc.NumCg = cfg.WorkloadCfg.NumCg
+	wc.FsBytes = cfg.WorkloadCfg.FsBytes
+	wc.RampDays = cfg.WorkloadCfg.RampDays
+	scale := float64(cfg.WorkloadCfg.FsBytes) / float64(502<<20)
+	wc.ChurnBytesPerDay *= scale
+	wc.ShortPairsPerDay *= scale
+	b, err := workload.BuildWorkload(wc, cfg.NFSCfg)
+	if err != nil {
+		return ProfileResult{}, fmt.Errorf("profile %s: %w", p, err)
+	}
+	res := ProfileResult{Profile: p}
+	sum := b.Reconstructed.Summarize()
+	res.Ops = sum.Ops
+	res.BytesWritten = sum.BytesWritten
+	res.EndFiles = b.Reference.EndLiveFiles
+
+	from := wc.Days - cfg.HotWindow
+	for _, pol := range []ffs.Policy{core.Original{}, core.Realloc{}} {
+		aged, err := aging.Replay(cfg.FsParams, pol, b.Reconstructed, aging.Options{})
+		if err != nil {
+			return ProfileResult{}, fmt.Errorf("profile %s under %s: %w", p, pol.Name(), err)
+		}
+		hot, err := bench.HotFiles(aged.Fs, cfg.DiskParams, from)
+		if err != nil {
+			return ProfileResult{}, fmt.Errorf("profile %s hot bench: %w", p, err)
+		}
+		switch pol.(type) {
+		case core.Original:
+			res.LayoutFFS = aged.LayoutByDay.Final()
+			res.HotReadFFS = hot.ReadBps
+		default:
+			res.LayoutRealloc = aged.LayoutByDay.Final()
+			res.HotReadRealloc = hot.ReadBps
+		}
+	}
+	return res, nil
+}
+
+// RunProfiles runs every supported profile.
+func RunProfiles(cfg Config) ([]ProfileResult, error) {
+	var out []ProfileResult
+	for _, p := range workload.Profiles() {
+		r, err := RunProfile(cfg, p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"testing"
+
+	"ffsage/internal/workload"
+)
+
+func TestProfileConfigsValidate(t *testing.T) {
+	for _, p := range workload.Profiles() {
+		c := workload.ProfileConfig(p, 1)
+		if err := c.Validate(); err != nil {
+			t.Errorf("%s: %v", p, err)
+		}
+	}
+	if !workload.KnownProfile(workload.ProfileNews) {
+		t.Error("news not known")
+	}
+	if workload.KnownProfile("mainframe") {
+		t.Error("bogus profile known")
+	}
+	// Unknown profiles fall back to a valid default.
+	if err := workload.ProfileConfig("mainframe", 1).Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRunProfileRejectsUnknown(t *testing.T) {
+	if _, err := RunProfile(Quick(1), "mainframe"); err == nil {
+		t.Error("unknown profile accepted")
+	}
+}
+
+// The cross-profile study (the paper's §6 proposal): workload character
+// determines how much the allocation policy matters.
+func TestProfileStudyShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("profile study is slow")
+	}
+	cfg := Quick(3)
+	rs, err := RunProfiles(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[workload.Profile]ProfileResult{}
+	for _, r := range rs {
+		byName[r.Profile] = r
+		// Realloc never hurts layout, under any pattern.
+		if r.LayoutRealloc+0.02 < r.LayoutFFS {
+			t.Errorf("%s: realloc %.3f worse than ffs %.3f", r.Profile, r.LayoutRealloc, r.LayoutFFS)
+		}
+	}
+	news, db := byName[workload.ProfileNews], byName[workload.ProfileDatabase]
+	research := byName[workload.ProfileResearch]
+	// A news spool fragments far worse than home directories under the
+	// original policy; a database barely fragments at all.
+	if news.LayoutFFS >= research.LayoutFFS {
+		t.Errorf("news layout %.3f not worse than research %.3f", news.LayoutFFS, research.LayoutFFS)
+	}
+	if db.LayoutFFS <= research.LayoutFFS {
+		t.Errorf("database layout %.3f not better than research %.3f", db.LayoutFFS, research.LayoutFFS)
+	}
+	// The policy's benefit is workload-dependent: large for home
+	// directories, marginal for the database.
+	dbGain := db.LayoutRealloc - db.LayoutFFS
+	resGain := research.LayoutRealloc - research.LayoutFFS
+	if dbGain >= resGain {
+		t.Errorf("database gain %.3f not below research gain %.3f", dbGain, resGain)
+	}
+	// Population character sanity.
+	if news.EndFiles <= 2*research.EndFiles {
+		t.Errorf("news population %d not ≫ research %d", news.EndFiles, research.EndFiles)
+	}
+	if db.EndFiles >= research.EndFiles/5 {
+		t.Errorf("database population %d not ≪ research %d", db.EndFiles, research.EndFiles)
+	}
+}

@@ -1,0 +1,509 @@
+package ffs
+
+import (
+	"fmt"
+
+	"ffsage/internal/bitset"
+)
+
+// CylGroup is one cylinder group: a fragment-granularity free map plus
+// the summary structures FFS keeps to avoid scanning it — per-run-length
+// free fragment counts (cg_frsum) and per-run-length free block cluster
+// counts (cg_clustersum) — and the inode map.
+//
+// Fragment indices and block indices in this type are group-relative;
+// the FileSystem converts to and from absolute Daddr.
+type CylGroup struct {
+	fs    *FileSystem
+	Index int
+
+	startFrag Daddr // absolute address of group-relative fragment 0
+	nfrags    int   // fragments in this group (multiple of fpb)
+	nblk      int   // whole blocks in this group
+	metaFrags int   // fragments reserved for sb copy, cg header, inodes
+
+	free    *bitset.Set // fragment-level: set = free
+	blkfree *bitset.Set // block-level: set = block fully free
+
+	nffree int // free fragments in partially-allocated blocks
+	nbfree int // fully free blocks
+
+	// frsum[k] counts maximal runs of exactly k free fragments inside
+	// partially-allocated blocks, 1 ≤ k < fpb.
+	frsum []int
+	// clusterSum[k] counts maximal runs of free blocks of length k,
+	// with k capped at maxcontig (the last bin counts all runs of at
+	// least maxcontig blocks), 1 ≤ k ≤ maxcontig.
+	clusterSum []int
+
+	inodes *bitset.Set // set = free inode
+	nifree int
+	ndir   int
+
+	rotor int // fragment index where the next block search begins
+}
+
+func newCylGroup(fs *FileSystem, index int, startFrag Daddr, nfrags, metaFrags int) *CylGroup {
+	fpb := fs.fpb
+	if nfrags%fpb != 0 {
+		panic(fmt.Sprintf("ffs: cg %d size %d not block aligned", index, nfrags))
+	}
+	c := &CylGroup{
+		fs:         fs,
+		Index:      index,
+		startFrag:  startFrag,
+		nfrags:     nfrags,
+		nblk:       nfrags / fpb,
+		metaFrags:  metaFrags,
+		free:       bitset.New(nfrags),
+		blkfree:    bitset.New(nfrags / fpb),
+		frsum:      make([]int, fpb),
+		clusterSum: make([]int, fs.P.MaxContig+1),
+		inodes:     bitset.New(fs.ipg),
+		nifree:     fs.ipg,
+	}
+	c.inodes.SetRange(0, fs.ipg)
+	// Everything starts free...
+	c.free.SetRange(0, nfrags)
+	c.blkfree.SetRange(0, c.nblk)
+	c.nbfree = c.nblk
+	c.clusterAdd(c.nblk)
+	// ...except the metadata area.
+	if metaFrags > 0 {
+		c.mutateFrags(0, metaFrags, true)
+	}
+	c.rotor = blkRoundUp(metaFrags, fpb)
+	return c
+}
+
+func blkRoundUp(x, fpb int) int { return (x + fpb - 1) / fpb * fpb }
+
+// NFrags returns the number of fragments in the group.
+func (c *CylGroup) NFrags() int { return c.nfrags }
+
+// NBFree returns the number of fully free blocks.
+func (c *CylGroup) NBFree() int { return c.nbfree }
+
+// NFFree returns the number of free fragments outside free blocks.
+func (c *CylGroup) NFFree() int { return c.nffree }
+
+// FreeFrags returns the total free fragment count.
+func (c *CylGroup) FreeFrags() int { return c.nffree + c.nbfree*c.fs.fpb }
+
+// NIFree returns the number of free inodes.
+func (c *CylGroup) NIFree() int { return c.nifree }
+
+// NDir returns the number of directories allocated in the group.
+func (c *CylGroup) NDir() int { return c.ndir }
+
+// DataStart returns the group-relative fragment index of the first
+// fragment past the metadata area.
+func (c *CylGroup) DataStart() int { return blkRoundUp(c.metaFrags, c.fs.fpb) }
+
+// clusterAdd records a maximal free-block run of the given length
+// appearing (lengths bin-capped at maxcontig).
+func (c *CylGroup) clusterAdd(length int) {
+	if length <= 0 {
+		return
+	}
+	if length > c.fs.P.MaxContig {
+		length = c.fs.P.MaxContig
+	}
+	c.clusterSum[length]++
+}
+
+func (c *CylGroup) clusterRemove(length int) {
+	if length <= 0 {
+		return
+	}
+	if length > c.fs.P.MaxContig {
+		length = c.fs.P.MaxContig
+	}
+	if c.clusterSum[length] == 0 {
+		panic(fmt.Sprintf("ffs: cg %d clusterSum[%d] underflow", c.Index, length))
+	}
+	c.clusterSum[length]--
+}
+
+// clusterAcct updates the cluster summary when block b transitions
+// between free and allocated, in the style of ffs_clusteracct: measure
+// the free runs on either side (capped at maxcontig), remove their old
+// bins, add the new configuration's bins.
+func (c *CylGroup) clusterAcct(b int, becomingFree bool) {
+	max := c.fs.P.MaxContig
+	back := 0
+	for i := b - 1; i >= 0 && back < max && c.blkfree.Test(i); i-- {
+		back++
+	}
+	fwd := 0
+	for i := b + 1; i < c.nblk && fwd < max && c.blkfree.Test(i); i++ {
+		fwd++
+	}
+	if becomingFree {
+		c.clusterRemove(back)
+		c.clusterRemove(fwd)
+		c.clusterAdd(back + 1 + fwd)
+	} else {
+		c.clusterRemove(back + 1 + fwd)
+		c.clusterAdd(back)
+		c.clusterAdd(fwd)
+	}
+}
+
+// HasCluster reports whether the group contains a free run of at least
+// n blocks (n ≤ maxcontig).
+func (c *CylGroup) HasCluster(n int) bool {
+	if n <= 0 {
+		panic("ffs: HasCluster length <= 0")
+	}
+	if n > c.fs.P.MaxContig {
+		return false
+	}
+	for k := n; k <= c.fs.P.MaxContig; k++ {
+		if c.clusterSum[k] > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// blockPattern summarizes one block's fragment bitmap.
+type blockPattern struct {
+	full    bool // all fragments free
+	nf      int  // free fragments if not full
+	runs    [9]int
+	maxFree int
+}
+
+func (c *CylGroup) pattern(b int) blockPattern {
+	fpb := c.fs.fpb
+	base := b * fpb
+	var p blockPattern
+	run := 0
+	for i := 0; i < fpb; i++ {
+		if c.free.Test(base + i) {
+			p.nf++
+			run++
+			if run > p.maxFree {
+				p.maxFree = run
+			}
+		} else if run > 0 {
+			p.runs[run]++
+			run = 0
+		}
+	}
+	if run == fpb {
+		p.full = true
+		p.nf = 0
+		p.maxFree = fpb
+		return p
+	}
+	if run > 0 {
+		p.runs[run]++
+	}
+	return p
+}
+
+// mutateFrags flips the allocation state of group-relative fragments
+// [lo, hi) to allocated (alloc=true) or free, updating every summary.
+// It panics if any fragment is already in the requested state — the
+// simulator's equivalent of a "freeing free block" kernel panic.
+func (c *CylGroup) mutateFrags(lo, hi int, alloc bool) {
+	if lo < 0 || hi > c.nfrags || lo >= hi {
+		panic(fmt.Sprintf("ffs: cg %d mutate [%d,%d) of %d", c.Index, lo, hi, c.nfrags))
+	}
+	fpb := c.fs.fpb
+	for b := lo / fpb; b <= (hi-1)/fpb; b++ {
+		before := c.pattern(b)
+		blo, bhi := b*fpb, (b+1)*fpb
+		if blo < lo {
+			blo = lo
+		}
+		if bhi > hi {
+			bhi = hi
+		}
+		for i := blo; i < bhi; i++ {
+			if c.free.Test(i) != alloc {
+				// Requesting alloc of a non-free frag, or free of a
+				// non-allocated frag.
+				state := "free"
+				if alloc {
+					state = "allocated"
+				}
+				panic(fmt.Sprintf("ffs: cg %d frag %d already %s", c.Index, i, state))
+			}
+			if alloc {
+				c.free.Clear(i)
+			} else {
+				c.free.Set(i)
+			}
+		}
+		after := c.pattern(b)
+		c.applyPatternDelta(b, before, after)
+	}
+}
+
+func (c *CylGroup) applyPatternDelta(b int, before, after blockPattern) {
+	if before.full != after.full {
+		if after.full {
+			c.nbfree++
+			c.blkfree.Set(b)
+			c.clusterAcct(b, true)
+		} else {
+			c.nbfree--
+			c.blkfree.Clear(b)
+			c.clusterAcct(b, false)
+		}
+	}
+	c.nffree += after.nf - before.nf
+	for k := 1; k < c.fs.fpb; k++ {
+		c.frsum[k] += after.runs[k] - before.runs[k]
+		if c.frsum[k] < 0 {
+			panic(fmt.Sprintf("ffs: cg %d frsum[%d] underflow", c.Index, k))
+		}
+	}
+}
+
+// allocBlockAt claims the fully free block b. It panics if b is not
+// fully free; callers test first.
+func (c *CylGroup) allocBlockAt(b int) {
+	if !c.blkfree.Test(b) {
+		panic(fmt.Sprintf("ffs: cg %d block %d not free", c.Index, b))
+	}
+	fpb := c.fs.fpb
+	c.mutateFrags(b*fpb, (b+1)*fpb, true)
+	c.rotor = b * fpb
+}
+
+// allocBlockNear allocates a fully free block, preferring the block
+// containing prefFrag (group-relative), then scanning forward with
+// wrap-around — the ffs_mapsearch discipline, which takes the first free
+// block it meets with no regard for the free run it sits in (the
+// original policy's defect the paper studies). prefFrag < 0 means "use
+// the group rotor". Returns the block index, or -1 when the group has
+// no free block.
+func (c *CylGroup) allocBlockNear(prefFrag int) int {
+	if c.nbfree == 0 {
+		return -1
+	}
+	fpb := c.fs.fpb
+	start := c.rotor / fpb
+	if prefFrag >= 0 {
+		start = prefFrag / fpb
+		if start >= c.nblk {
+			start = 0
+		}
+	}
+	b := c.blkfree.NextSet(start)
+	if b < 0 {
+		b = c.blkfree.NextSet(0)
+	}
+	if b < 0 {
+		panic(fmt.Sprintf("ffs: cg %d nbfree=%d but no free block found", c.Index, c.nbfree))
+	}
+	c.allocBlockAt(b)
+	return b
+}
+
+// allocFrags allocates a run of n fragments (1 ≤ n < fpb) using the
+// frsum best-fit discipline of ffs_alloccg: find the smallest free run
+// size ≥ n that exists in a partial block; if none exists, break a full
+// block. Returns the group-relative fragment index, or -1 when the
+// group cannot satisfy the request.
+func (c *CylGroup) allocFrags(n, prefFrag int) int {
+	fpb := c.fs.fpb
+	if n <= 0 || n >= fpb {
+		panic(fmt.Sprintf("ffs: allocFrags n=%d", n))
+	}
+	allocsiz := 0
+	for k := n; k < fpb; k++ {
+		if c.frsum[k] > 0 {
+			allocsiz = k
+			break
+		}
+	}
+	if allocsiz == 0 {
+		// No suitable fragment run anywhere: split a full block.
+		b := c.allocBlockNearFree(prefFrag)
+		if b < 0 {
+			return -1
+		}
+		// Claim only the first n fragments; the pattern delta turns the
+		// remaining fpb-n into a free run in frsum.
+		c.mutateFrags(b*fpb, b*fpb+n, true)
+		c.rotor = b * fpb
+		return b * fpb
+	}
+	// Scan partial blocks from the preference (or rotor) for a maximal
+	// run of exactly allocsiz fragments.
+	start := c.rotor / fpb
+	if prefFrag >= 0 && prefFrag/fpb < c.nblk {
+		start = prefFrag / fpb
+	}
+	for i := 0; i < c.nblk; i++ {
+		b := (start + i) % c.nblk
+		if c.blkfree.Test(b) {
+			continue // full blocks are not fragment donors
+		}
+		p := c.pattern(b)
+		if p.runs[allocsiz] == 0 {
+			continue
+		}
+		// Find the run of exactly allocsiz within the block.
+		idx := c.findRunInBlock(b, allocsiz)
+		c.mutateFrags(idx, idx+n, true)
+		c.rotor = b * fpb
+		return idx
+	}
+	panic(fmt.Sprintf("ffs: cg %d frsum[%d]=%d but no run found", c.Index, allocsiz, c.frsum[allocsiz]))
+}
+
+// allocBlockNearFree is allocBlockNear without claiming the block; it
+// returns a free block index or -1. Used by the split path, which wants
+// to claim only part of the block.
+func (c *CylGroup) allocBlockNearFree(prefFrag int) int {
+	if c.nbfree == 0 {
+		return -1
+	}
+	fpb := c.fs.fpb
+	start := c.rotor / fpb
+	if prefFrag >= 0 {
+		start = prefFrag / fpb
+		if start >= c.nblk {
+			start = 0
+		}
+	}
+	b := c.blkfree.NextSet(start)
+	if b < 0 {
+		b = c.blkfree.NextSet(0)
+	}
+	return b
+}
+
+// findRunInBlock locates the first maximal free run of exactly length
+// inside block b and returns its group-relative fragment index.
+func (c *CylGroup) findRunInBlock(b, length int) int {
+	fpb := c.fs.fpb
+	base := b * fpb
+	run, runStart := 0, -1
+	for i := 0; i <= fpb; i++ {
+		if i < fpb && c.free.Test(base+i) {
+			if run == 0 {
+				runStart = base + i
+			}
+			run++
+			continue
+		}
+		if run == length {
+			return runStart
+		}
+		run = 0
+	}
+	panic(fmt.Sprintf("ffs: cg %d block %d has no run of %d", c.Index, b, length))
+}
+
+// extendFrags grows an existing fragment run in place from oldN to newN
+// fragments (the ffs_fragextend path). It reports whether the extension
+// succeeded; on failure the map is unchanged.
+func (c *CylGroup) extendFrags(fragIdx, oldN, newN int) bool {
+	fpb := c.fs.fpb
+	if oldN <= 0 || newN <= oldN || newN > fpb {
+		panic(fmt.Sprintf("ffs: extendFrags %d→%d", oldN, newN))
+	}
+	if fragIdx/fpb != (fragIdx+newN-1)/fpb {
+		return false // would cross a block boundary
+	}
+	if !c.free.TestRange(fragIdx+oldN, fragIdx+newN) {
+		return false
+	}
+	c.mutateFrags(fragIdx+oldN, fragIdx+newN, true)
+	return true
+}
+
+// allocCluster claims a run of n fully free blocks (the
+// ffs_clusteralloc mechanism used by the realloc policy). The search
+// honours prefBlock first (exact placement, so clusters chain end to
+// end), then takes the tightest fit: the first free run whose length is
+// as close to n as available. Best-fit keeps the group's large free
+// runs intact for future clusters, which is what lets the realloc
+// system retain its allocation advantage as the disk fills; taking the
+// first sufficient run instead shreds exactly the free space the policy
+// depends on (measured in the A4 ablation bench).
+func (c *CylGroup) allocCluster(prefBlock, n int) int {
+	if n <= 0 || n > c.fs.P.MaxContig {
+		panic(fmt.Sprintf("ffs: allocCluster n=%d", n))
+	}
+	if !c.HasCluster(n) {
+		return -1
+	}
+	b := -1
+	switch {
+	case prefBlock >= 0 && prefBlock+n <= c.nblk && c.blkfree.TestRange(prefBlock, prefBlock+n):
+		b = prefBlock
+	case c.fs.P.FirstFitClusters:
+		b = c.blkfree.FindRun(0, c.nblk, n)
+	default:
+		b = c.findClusterBestFit(n)
+	}
+	if b < 0 {
+		panic(fmt.Sprintf("ffs: cg %d HasCluster(%d) but search failed", c.Index, n))
+	}
+	fpb := c.fs.fpb
+	c.mutateFrags(b*fpb, (b+n)*fpb, true)
+	c.rotor = b * fpb
+	return b
+}
+
+// findClusterBestFit returns the start of the first free run that can
+// hold n blocks *with room left over* (length > n), so the file's next
+// cluster can chain directly after this one; only when no such run
+// exists does it settle for an exact fit. The allocation is taken from
+// the head of the run, leaving the tail free.
+func (c *CylGroup) findClusterBestFit(n int) int {
+	b := 0
+	fallback := -1
+	for {
+		start := c.blkfree.NextSet(b)
+		if start < 0 {
+			return fallback
+		}
+		length := 0
+		end := start
+		for end < c.nblk && c.blkfree.Test(end) {
+			length++
+			end++
+		}
+		if length > n {
+			return start
+		}
+		if length == n && fallback < 0 {
+			fallback = start
+		}
+		b = end
+	}
+}
+
+// freeFrags releases group-relative fragments [fragIdx, fragIdx+n).
+func (c *CylGroup) freeFrags(fragIdx, n int) {
+	c.mutateFrags(fragIdx, fragIdx+n, false)
+}
+
+// allocInode claims the lowest free inode slot, or returns -1.
+func (c *CylGroup) allocInode() int {
+	i := c.inodes.NextSet(0)
+	if i < 0 {
+		return -1
+	}
+	c.inodes.Clear(i)
+	c.nifree--
+	return i
+}
+
+// freeInode releases inode slot i.
+func (c *CylGroup) freeInode(i int) {
+	if c.inodes.Test(i) {
+		panic(fmt.Sprintf("ffs: cg %d inode %d already free", c.Index, i))
+	}
+	c.inodes.Set(i)
+	c.nifree++
+}

@@ -1,0 +1,249 @@
+package ffs
+
+import (
+	"fmt"
+
+	"ffsage/internal/bitset"
+)
+
+// Check verifies the file system's internal consistency, recomputing
+// every summary from first principles — an in-memory fsck. It returns
+// the first inconsistency found, or nil. Tests run it after every
+// scenario; the aging replayer runs it at checkpoints.
+//
+// Verified invariants:
+//
+//  1. per-group counters (nffree, nbfree, frsum, cluster summary, block
+//     map) match a recomputation from the fragment bitmap;
+//  2. the union of all file extents, indirect blocks, and metadata
+//     areas exactly equals the allocated fragments (no leaks, no double
+//     allocation);
+//  3. every file's shape is legal: size vs. block count, tail fragment
+//     rules, indirect blocks present exactly where required;
+//  4. inode maps agree with the live file table;
+//  5. directory tree linkage is coherent.
+func (fs *FileSystem) Check() error {
+	if err := fs.checkGroups(); err != nil {
+		return err
+	}
+	if err := fs.checkExtents(); err != nil {
+		return err
+	}
+	if err := fs.checkFiles(); err != nil {
+		return err
+	}
+	return fs.checkInodesAndDirs()
+}
+
+func (fs *FileSystem) checkGroups() error {
+	for _, c := range fs.cgs {
+		nffree, nbfree := 0, 0
+		frsum := make([]int, fs.fpb)
+		blk := bitset.New(c.nblk)
+		for b := 0; b < c.nblk; b++ {
+			p := c.pattern(b)
+			if p.full {
+				nbfree++
+				blk.Set(b)
+				continue
+			}
+			nffree += p.nf
+			for k := 1; k < fs.fpb; k++ {
+				frsum[k] += p.runs[k]
+			}
+		}
+		if nffree != c.nffree || nbfree != c.nbfree {
+			return fmt.Errorf("cg %d: counters nffree=%d/%d nbfree=%d/%d (recomputed/stored)",
+				c.Index, nffree, c.nffree, nbfree, c.nbfree)
+		}
+		for k := 1; k < fs.fpb; k++ {
+			if frsum[k] != c.frsum[k] {
+				return fmt.Errorf("cg %d: frsum[%d]=%d, stored %d", c.Index, k, frsum[k], c.frsum[k])
+			}
+		}
+		if !blk.Equal(c.blkfree) {
+			return fmt.Errorf("cg %d: block free map disagrees with fragment map", c.Index)
+		}
+		// Cluster summary: recompute maximal free-block runs, capped.
+		sum := make([]int, fs.P.MaxContig+1)
+		run := 0
+		for b := 0; b <= c.nblk; b++ {
+			if b < c.nblk && blk.Test(b) {
+				run++
+				continue
+			}
+			if run > 0 {
+				capped := run
+				if capped > fs.P.MaxContig {
+					capped = fs.P.MaxContig
+				}
+				sum[capped]++
+				run = 0
+			}
+		}
+		for k := 1; k <= fs.P.MaxContig; k++ {
+			if sum[k] != c.clusterSum[k] {
+				return fmt.Errorf("cg %d: clusterSum[%d]=%d, stored %d", c.Index, k, sum[k], c.clusterSum[k])
+			}
+		}
+	}
+	return nil
+}
+
+func (fs *FileSystem) checkExtents() error {
+	want := bitset.New(int(fs.P.TotalFrags()))
+	claim := func(d Daddr, n int, what string) error {
+		lo := int(d)
+		if lo < 0 || lo+n > want.Len() {
+			return fmt.Errorf("%s: extent [%d,%d) out of range", what, lo, lo+n)
+		}
+		for i := lo; i < lo+n; i++ {
+			if want.Test(i) {
+				return fmt.Errorf("%s: fragment %d doubly allocated", what, i)
+			}
+			want.Set(i)
+		}
+		return nil
+	}
+	for _, c := range fs.cgs {
+		if c.metaFrags > 0 {
+			if err := claim(c.startFrag, c.metaFrags, fmt.Sprintf("cg %d metadata", c.Index)); err != nil {
+				return err
+			}
+		}
+	}
+	for ino, f := range fs.files {
+		for i, addr := range f.Blocks {
+			n := fs.fpb
+			if i == len(f.Blocks)-1 {
+				n = f.TailFrags
+			}
+			if err := claim(addr, n, fmt.Sprintf("ino %d block %d", ino, i)); err != nil {
+				return err
+			}
+		}
+		for _, ind := range f.Indirects {
+			if err := claim(ind.Addr, fs.fpb, fmt.Sprintf("ino %d indirect@%d", ino, ind.BeforeLbn)); err != nil {
+				return err
+			}
+		}
+	}
+	for _, c := range fs.cgs {
+		for i := 0; i < c.nfrags; i++ {
+			abs := int(c.startFrag) + i
+			allocated := !c.free.Test(i)
+			if allocated != want.Test(abs) {
+				return fmt.Errorf("cg %d frag %d: map says allocated=%v, files say %v",
+					c.Index, i, allocated, want.Test(abs))
+			}
+		}
+	}
+	return nil
+}
+
+func (fs *FileSystem) checkFiles() error {
+	bs := int64(fs.P.BlockSize)
+	for ino, f := range fs.files {
+		if f.Ino != ino {
+			return fmt.Errorf("ino %d: table key disagrees with File.Ino %d", ino, f.Ino)
+		}
+		wantBlocks := 0
+		if f.Size > 0 {
+			wantBlocks = int((f.Size + bs - 1) / bs)
+		}
+		if len(f.Blocks) != wantBlocks {
+			return fmt.Errorf("ino %d: %d blocks for size %d (want %d)", ino, len(f.Blocks), f.Size, wantBlocks)
+		}
+		if wantBlocks > 0 {
+			lastIdx := wantBlocks - 1
+			wantTail := fs.fpb
+			if lastIdx < NDirect {
+				wantTail = fs.fragsForBytes(f.Size - int64(lastIdx)*bs)
+			}
+			if f.TailFrags != wantTail {
+				return fmt.Errorf("ino %d: tail %d frags for size %d (want %d)", ino, f.TailFrags, f.Size, wantTail)
+			}
+		} else if f.TailFrags != 0 {
+			return fmt.Errorf("ino %d: empty file with tail %d", ino, f.TailFrags)
+		}
+		// Indirect blocks exactly at their boundaries.
+		ppi := fs.ptrsPerIndirect()
+		wantInd := map[int][2]int{} // BeforeLbn → {level1, level2} counts
+		for lbn := NDirect; lbn < wantBlocks; lbn += ppi {
+			w := wantInd[lbn]
+			w[0]++
+			if lbn == NDirect+ppi {
+				w[1]++
+			}
+			wantInd[lbn] = w
+		}
+		got := map[int][2]int{}
+		for _, ind := range f.Indirects {
+			g := got[ind.BeforeLbn]
+			switch ind.Level {
+			case 1:
+				g[0]++
+			case 2:
+				g[1]++
+			default:
+				return fmt.Errorf("ino %d: indirect level %d", ino, ind.Level)
+			}
+			got[ind.BeforeLbn] = g
+		}
+		for lbn, w := range wantInd {
+			if got[lbn] != w {
+				return fmt.Errorf("ino %d: indirects at lbn %d = %v, want %v", ino, lbn, got[lbn], w)
+			}
+		}
+		for lbn := range got {
+			if _, ok := wantInd[lbn]; !ok {
+				return fmt.Errorf("ino %d: orphan indirect at lbn %d", ino, lbn)
+			}
+		}
+	}
+	return nil
+}
+
+func (fs *FileSystem) checkInodesAndDirs() error {
+	for ino, f := range fs.files {
+		cg := fs.cgs[fs.InoToCg(ino)]
+		if cg.inodes.Test(ino % fs.ipg) {
+			return fmt.Errorf("ino %d live but marked free", ino)
+		}
+		if f.Parent == nil {
+			if f != fs.root {
+				return fmt.Errorf("ino %d (%s) has no parent and is not root", ino, f.Name)
+			}
+			continue
+		}
+		if got, ok := f.Parent.Entries[f.Name]; !ok || got != f {
+			return fmt.Errorf("ino %d (%s): parent entry missing or wrong", ino, f.Path())
+		}
+	}
+	ndir := make([]int, len(fs.cgs))
+	nAlloc := make([]int, len(fs.cgs))
+	for ino, f := range fs.files {
+		if f.IsDir {
+			ndir[fs.InoToCg(ino)]++
+		}
+		nAlloc[fs.InoToCg(ino)]++
+		for name, child := range f.Entries {
+			if child.Parent != f || child.Name != name {
+				return fmt.Errorf("dir %s: entry %q badly linked", f.Path(), name)
+			}
+		}
+	}
+	for _, c := range fs.cgs {
+		if c.ndir != ndir[c.Index] {
+			return fmt.Errorf("cg %d: ndir=%d, counted %d", c.Index, c.ndir, ndir[c.Index])
+		}
+		if free := c.inodes.Count(); free != c.nifree {
+			return fmt.Errorf("cg %d: nifree=%d, bitmap %d", c.Index, c.nifree, free)
+		}
+		if fs.ipg-c.inodes.Count() != nAlloc[c.Index] {
+			return fmt.Errorf("cg %d: %d inodes marked used, %d live files",
+				c.Index, fs.ipg-c.inodes.Count(), nAlloc[c.Index])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,64 @@
+package ffs
+
+// Extent is a physically contiguous run of fragments belonging to one
+// file, in logical order. The benchmark harness turns extents into disk
+// requests; every extent boundary is a potential seek.
+type Extent struct {
+	Addr  Daddr
+	Frags int
+	Meta  bool // an indirect block rather than file data
+}
+
+// DataExtents returns f's data blocks merged into maximal physically
+// contiguous extents, in logical order.
+func (f *File) DataExtents(fpb int) []Extent {
+	var out []Extent
+	for i, addr := range f.Blocks {
+		n := fpb
+		if i == len(f.Blocks)-1 {
+			n = f.TailFrags
+		}
+		if len(out) > 0 && !out[len(out)-1].Meta &&
+			out[len(out)-1].Addr+Daddr(out[len(out)-1].Frags) == addr {
+			out[len(out)-1].Frags += n
+			continue
+		}
+		out = append(out, Extent{Addr: addr, Frags: n})
+	}
+	return out
+}
+
+// ReadSequence returns the on-disk access sequence of a sequential read
+// of f: indirect blocks are visited immediately before the first data
+// block they map, as the kernel must fetch them to learn the addresses
+// that follow. Contiguous accesses are merged.
+func (f *File) ReadSequence(fpb int) []Extent {
+	// Indirect blocks sorted by the data block they precede; Level 2
+	// (double parent) is read before its first child.
+	next := 0 // index into f.Indirects, which Append builds in order
+	var out []Extent
+	add := func(addr Daddr, n int, meta bool) {
+		if len(out) > 0 && !out[len(out)-1].Meta && !meta &&
+			out[len(out)-1].Addr+Daddr(out[len(out)-1].Frags) == addr {
+			out[len(out)-1].Frags += n
+			return
+		}
+		out = append(out, Extent{Addr: addr, Frags: n, Meta: meta})
+	}
+	for i, addr := range f.Blocks {
+		for next < len(f.Indirects) && f.Indirects[next].BeforeLbn == i {
+			add(f.Indirects[next].Addr, fpb, true)
+			next++
+		}
+		n := fpb
+		if i == len(f.Blocks)-1 {
+			n = f.TailFrags
+		}
+		add(addr, n, false)
+	}
+	return out
+}
+
+// ExtentCount returns the number of data extents — 1 for a perfectly
+// laid out file.
+func (f *File) ExtentCount(fpb int) int { return len(f.DataExtents(fpb)) }

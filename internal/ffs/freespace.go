@@ -1,0 +1,39 @@
+package ffs
+
+// FreeRunHistogram counts maximal free-block runs by length across all
+// cylinder groups: hist[k] counts runs of exactly k blocks for k < 7,
+// hist[7] counts runs of 7 or more. It characterizes free-space quality
+// — the paper's realloc policy depends on long runs surviving — and
+// feeds the free-space ablation bench.
+func (fs *FileSystem) FreeRunHistogram() (hist [8]int, freeBlocks int) {
+	for _, c := range fs.cgs {
+		run := 0
+		for b := 0; b <= c.nblk; b++ {
+			if b < c.nblk && c.blkfree.Test(b) {
+				run++
+				freeBlocks++
+				continue
+			}
+			if run > 0 {
+				if run >= 7 {
+					hist[7]++
+				} else {
+					hist[run]++
+				}
+				run = 0
+			}
+		}
+	}
+	return hist, freeBlocks
+}
+
+// CgUtilizations returns each cylinder group's allocated fraction.
+// Group-level imbalance is what makes the paper's busiest groups run
+// out of clusters long before the disk is full.
+func (fs *FileSystem) CgUtilizations() []float64 {
+	var out []float64
+	for _, c := range fs.cgs {
+		out = append(out, 1-float64(c.FreeFrags())/float64(c.nfrags))
+	}
+	return out
+}

@@ -1,0 +1,124 @@
+package ffs
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// The simulator is parameterized over block/fragment geometry; FFS
+// deployments of the era used everything from 4K/512 to 16K/2K, and a
+// fragment-free configuration is legal (block == fragment). Exercise a
+// churn workload plus the checker across the matrix.
+func TestGeometryMatrix(t *testing.T) {
+	geometries := []struct {
+		block, frag int
+	}{
+		{8192, 1024},  // the paper's
+		{4096, 512},   // fpb 8
+		{4096, 1024},  // fpb 4
+		{16384, 2048}, // fpb 8, big blocks
+		{8192, 4096},  // fpb 2
+		{4096, 4096},  // fpb 1: no fragments at all
+	}
+	for _, g := range geometries {
+		g := g
+		t.Run(fmt.Sprintf("%d_%d", g.block, g.frag), func(t *testing.T) {
+			p := PaperParams()
+			p.SizeBytes = 32 << 20
+			p.NumCg = 4
+			p.BlockSize = g.block
+			p.FragSize = g.frag
+			if err := p.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			fs, err := NewFileSystem(p, nopPolicy{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(int64(g.block + g.frag)))
+			var live []*File
+			for op := 0; op < 400; op++ {
+				switch {
+				case len(live) > 10 && rng.Intn(3) == 0:
+					k := rng.Intn(len(live))
+					if err := fs.Delete(live[k]); err != nil {
+						t.Fatal(err)
+					}
+					live[k] = live[len(live)-1]
+					live = live[:len(live)-1]
+				case len(live) > 0 && rng.Intn(4) == 0:
+					k := rng.Intn(len(live))
+					if err := fs.Append(live[k], rng.Int63n(100<<10), op); err != nil &&
+						!errors.Is(err, ErrNoSpace) {
+						t.Fatal(err)
+					}
+				default:
+					size := rng.Int63n(300 << 10)
+					f, err := fs.CreateFile(fs.Root(), fmt.Sprintf("f%d", op), size, op)
+					if errors.Is(err, ErrNoSpace) {
+						continue
+					}
+					if err != nil {
+						t.Fatal(err)
+					}
+					live = append(live, f)
+				}
+			}
+			if err := fs.Check(); err != nil {
+				t.Fatalf("geometry %d/%d: %v", g.block, g.frag, err)
+			}
+			// Tail rules hold for every geometry.
+			fpb := fs.FragsPerBlock()
+			for _, f := range live {
+				if len(f.Blocks) == 0 {
+					continue
+				}
+				if f.TailFrags < 1 || f.TailFrags > fpb {
+					t.Fatalf("tail %d outside [1,%d]", f.TailFrags, fpb)
+				}
+			}
+		})
+	}
+}
+
+// Fragment-free geometry still supports the realloc policy.
+func TestGeometryNoFragsWithRealloc(t *testing.T) {
+	p := PaperParams()
+	p.SizeBytes = 32 << 20
+	p.NumCg = 4
+	p.BlockSize = 8192
+	p.FragSize = 8192
+	p.BytesPerInode = 8192
+	fs, err := NewFileSystem(p, reallocForTest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := fs.CreateFile(fs.Root(), "x", 100<<10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.TailFrags != 1 {
+		t.Errorf("tail frags %d, want 1 (block-sized fragments)", f.TailFrags)
+	}
+	if err := fs.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// reallocForTest relocates fragmented runs like core.Realloc without
+// importing it (ffs cannot depend on core).
+type reallocForTest struct{}
+
+func (reallocForTest) Name() string { return "test-realloc" }
+func (reallocForTest) FlushCluster(fs *FileSystem, f *File, start, end int) {
+	if end-start < 2 || end-start > fs.P.MaxContig {
+		return
+	}
+	if f.RunIsContiguous(start, end, fs.fpb) {
+		return
+	}
+	pref, cg := fs.ReallocPref(f, start)
+	fs.TryReallocRun(f, start, end, cg, pref)
+}

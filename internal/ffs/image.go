@@ -1,0 +1,144 @@
+package ffs
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Image serialization: an aged file system is fully reconstructible
+// from its parameters and file table (every fragment's allocation state
+// follows from the files' extents), so that is what SaveImage writes.
+// Group rotors are not persisted; a loaded image's future allocations
+// may differ microscopically from the in-memory original, which none of
+// the benchmarks are sensitive to.
+
+type imageFile struct {
+	Ino       int
+	Name      string
+	IsDir     bool
+	Size      int64
+	Blocks    []Daddr
+	TailFrags int
+	Indirects []Indirect
+	ParentIno int // -1 for root
+	CreateDay int
+	ModDay    int
+	SectionCg int
+}
+
+type imageData struct {
+	Params     Params
+	PolicyName string
+	Files      []imageFile
+	RootIno    int
+}
+
+// SaveImage writes the file system to w.
+func (fs *FileSystem) SaveImage(w io.Writer) error {
+	img := imageData{Params: fs.P, PolicyName: fs.policy.Name(), RootIno: fs.root.Ino}
+	for _, f := range fs.files {
+		parent := -1
+		if f.Parent != nil {
+			parent = f.Parent.Ino
+		}
+		img.Files = append(img.Files, imageFile{
+			Ino:       f.Ino,
+			Name:      f.Name,
+			IsDir:     f.IsDir,
+			Size:      f.Size,
+			Blocks:    f.Blocks,
+			TailFrags: f.TailFrags,
+			Indirects: f.Indirects,
+			ParentIno: parent,
+			CreateDay: f.CreateDay,
+			ModDay:    f.ModDay,
+			SectionCg: f.sectionCg,
+		})
+	}
+	sort.Slice(img.Files, func(i, j int) bool { return img.Files[i].Ino < img.Files[j].Ino })
+	return gob.NewEncoder(w).Encode(&img)
+}
+
+// LoadImage reconstructs a file system from r under the given policy
+// (the policy choice governs only future allocations; the image's
+// layout is preserved exactly). The result is consistency-checked.
+func LoadImage(r io.Reader, policy Policy) (*FileSystem, error) {
+	var img imageData
+	if err := gob.NewDecoder(r).Decode(&img); err != nil {
+		return nil, fmt.Errorf("ffs: decoding image: %w", err)
+	}
+	fs, err := NewFileSystem(img.Params, policy)
+	if err != nil {
+		return nil, err
+	}
+	// Discard the fresh root; the image carries its own tree.
+	fs.cgs[fs.InoToCg(fs.root.Ino)].ndir--
+	fs.removeFile(fs.root)
+	fs.root = nil
+
+	// First pass: claim inodes and extents, build File objects.
+	for _, inf := range img.Files {
+		cg := fs.cgs[fs.InoToCg(inf.Ino)]
+		slot := inf.Ino % fs.ipg
+		if !cg.inodes.Test(slot) {
+			return nil, fmt.Errorf("ffs: image reuses inode %d", inf.Ino)
+		}
+		cg.inodes.Clear(slot)
+		cg.nifree--
+		f := &File{
+			Ino:       inf.Ino,
+			Name:      inf.Name,
+			IsDir:     inf.IsDir,
+			Size:      inf.Size,
+			Blocks:    inf.Blocks,
+			TailFrags: inf.TailFrags,
+			Indirects: inf.Indirects,
+			CreateDay: inf.CreateDay,
+			ModDay:    inf.ModDay,
+			sectionCg: inf.SectionCg,
+		}
+		if f.IsDir {
+			f.Entries = make(map[string]*File)
+			fs.cgs[fs.InoToCg(f.Ino)].ndir++
+		}
+		for i, addr := range f.Blocks {
+			n := fs.fpb
+			if i == len(f.Blocks)-1 {
+				n = f.TailFrags
+			}
+			c := fs.CgOf(addr)
+			c.mutateFrags(c.relFrag(addr), c.relFrag(addr)+n, true)
+		}
+		for _, ind := range f.Indirects {
+			c := fs.CgOf(ind.Addr)
+			c.mutateFrags(c.relFrag(ind.Addr), c.relFrag(ind.Addr)+fs.fpb, true)
+		}
+		fs.files[f.Ino] = f
+	}
+	// Second pass: tree linkage.
+	for _, inf := range img.Files {
+		f := fs.files[inf.Ino]
+		if inf.ParentIno < 0 {
+			if fs.root != nil {
+				return nil, fmt.Errorf("ffs: image has two roots")
+			}
+			fs.root = f
+			continue
+		}
+		parent, ok := fs.files[inf.ParentIno]
+		if !ok || !parent.IsDir {
+			return nil, fmt.Errorf("ffs: file %d has bad parent %d", inf.Ino, inf.ParentIno)
+		}
+		parent.Entries[f.Name] = f
+		f.Parent = parent
+	}
+	if fs.root == nil {
+		return nil, fmt.Errorf("ffs: image has no root")
+	}
+	if err := fs.Check(); err != nil {
+		return nil, fmt.Errorf("ffs: loaded image inconsistent: %w", err)
+	}
+	return fs, nil
+}

@@ -1,0 +1,53 @@
+package ffs
+
+import "testing"
+
+func TestBlockMap(t *testing.T) {
+	fs := newSmallFs(t)
+	f := mustCreate(t, fs, fs.Root(), "data", 64<<10) // 8 full blocks
+	mustCreate(t, fs, fs.Root(), "tail", 3<<10)       // a partial block
+
+	counts := map[BlockState]int{}
+	var total int
+	for cg := 0; cg < fs.NumCg(); cg++ {
+		m := fs.BlockMap(cg)
+		total += len(m)
+		for _, s := range m {
+			counts[s]++
+		}
+	}
+	if total != int(fs.P.TotalBlocks()) {
+		t.Fatalf("map covers %d blocks, fs has %d", total, fs.P.TotalBlocks())
+	}
+	if counts[BlockMeta] == 0 {
+		t.Error("no metadata blocks")
+	}
+	if counts[BlockFull] < 8 {
+		t.Errorf("%d full blocks, want ≥ 8", counts[BlockFull])
+	}
+	if counts[BlockPartial] == 0 {
+		t.Error("no partial block despite a fragment tail")
+	}
+	if counts[BlockFree] == 0 {
+		t.Error("no free blocks on a fresh fs")
+	}
+
+	// The file's own blocks must show as full.
+	cg := fs.cgIndexOf(f.Blocks[0])
+	m := fs.BlockMap(cg)
+	rel := fs.CgOf(f.Blocks[0]).relFrag(f.Blocks[0]) / fs.fpb
+	if m[rel] != BlockFull {
+		t.Errorf("file block state %c, want %c", m[rel], BlockFull)
+	}
+	// Cell totals agree with the group's counters.
+	c := fs.Cg(cg)
+	freeCells := 0
+	for _, s := range fs.BlockMap(cg) {
+		if s == BlockFree {
+			freeCells++
+		}
+	}
+	if freeCells != c.NBFree() {
+		t.Errorf("map free cells %d, counter %d", freeCells, c.NBFree())
+	}
+}

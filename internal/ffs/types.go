@@ -1,0 +1,30 @@
+package ffs
+
+import "errors"
+
+// Daddr is a disk address in fragment units, absolute within the file
+// system (0 ≤ Daddr < TotalFrags). NilDaddr marks an unallocated slot.
+type Daddr int64
+
+// NilDaddr is the "no address" sentinel.
+const NilDaddr Daddr = -1
+
+// NDirect is the number of direct block pointers in an FFS inode; the
+// thirteenth block of a file is reached through an indirect block, which
+// FFS places in a different cylinder group — the source of the paper's
+// 96→104 KB performance cliff.
+const NDirect = 12
+
+// ErrNoSpace is returned when an allocation cannot be satisfied
+// anywhere on the file system (the free reserve is honoured).
+var ErrNoSpace = errors.New("ffs: file system full")
+
+// ErrNoInodes is returned when no inode is free.
+var ErrNoInodes = errors.New("ffs: out of inodes")
+
+// ErrExists and ErrNotFound report name-space errors from the
+// directory layer.
+var (
+	ErrExists   = errors.New("ffs: file exists")
+	ErrNotFound = errors.New("ffs: no such file")
+)

@@ -1,0 +1,232 @@
+// Package plot renders simple SVG line charts — enough to draw the
+// paper's six figures from reproduction data with axes, ticks, legends
+// and log-scale x axes, using only the standard library.
+package plot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Series is one labelled line.
+type Series struct {
+	Label string
+	X, Y  []float64
+}
+
+// Chart describes one figure.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	// LogX draws the x axis in log₂ space (the paper's file-size axes).
+	LogX bool
+	// YMin/YMax fix the y range; when equal the range is computed.
+	YMin, YMax float64
+	Series     []Series
+}
+
+const (
+	width   = 640
+	height  = 420
+	marginL = 62
+	marginR = 16
+	marginT = 34
+	marginB = 48
+)
+
+// palette holds line colors chosen to stay distinguishable in print.
+var palette = []string{"#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#8c564b", "#e377c2"}
+
+// WriteSVG renders the chart.
+func (c *Chart) WriteSVG(w io.Writer) error {
+	if len(c.Series) == 0 {
+		return fmt.Errorf("plot: chart %q has no series", c.Title)
+	}
+	for _, s := range c.Series {
+		if len(s.X) != len(s.Y) {
+			return fmt.Errorf("plot: series %q has %d x vs %d y", s.Label, len(s.X), len(s.Y))
+		}
+		if len(s.X) == 0 {
+			return fmt.Errorf("plot: series %q is empty", s.Label)
+		}
+	}
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := c.YMin, c.YMax
+	autoY := ymin == ymax
+	if autoY {
+		ymin, ymax = math.Inf(1), math.Inf(-1)
+	}
+	for _, s := range c.Series {
+		for i := range s.X {
+			x := c.xval(s.X[i])
+			if x < xmin {
+				xmin = x
+			}
+			if x > xmax {
+				xmax = x
+			}
+			if autoY {
+				if s.Y[i] < ymin {
+					ymin = s.Y[i]
+				}
+				if s.Y[i] > ymax {
+					ymax = s.Y[i]
+				}
+			}
+		}
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	if autoY {
+		pad := (ymax - ymin) * 0.08
+		ymin -= pad
+		ymax += pad
+	}
+
+	plotW := float64(width - marginL - marginR)
+	plotH := float64(height - marginT - marginB)
+	px := func(x float64) float64 { return marginL + (c.xval(x)-xmin)/(xmax-xmin)*plotW }
+	py := func(y float64) float64 { return float64(height-marginB) - (y-ymin)/(ymax-ymin)*plotH }
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		width, height, width, height)
+	b.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+	fmt.Fprintf(&b, `<text x="%d" y="20" font-family="sans-serif" font-size="14" text-anchor="middle" font-weight="bold">%s</text>`+"\n",
+		width/2, esc(c.Title))
+
+	// Axes.
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
+		marginL, height-marginB, width-marginR, height-marginB)
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
+		marginL, marginT, marginL, height-marginB)
+
+	// Y ticks: five divisions.
+	for i := 0; i <= 5; i++ {
+		y := ymin + (ymax-ymin)*float64(i)/5
+		yy := py(y)
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#ccc"/>`+"\n",
+			marginL, yy, width-marginR, yy)
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" font-family="sans-serif" font-size="11" text-anchor="end">%s</text>`+"\n",
+			marginL-6, yy+4, trimNum(y))
+	}
+	// X ticks.
+	for _, x := range c.xticks(xmin, xmax) {
+		xx := px(x)
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="black"/>`+"\n",
+			xx, height-marginB, xx, height-marginB+5)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-family="sans-serif" font-size="11" text-anchor="middle">%s</text>`+"\n",
+			xx, height-marginB+18, c.xtickLabel(x))
+	}
+	fmt.Fprintf(&b, `<text x="%d" y="%d" font-family="sans-serif" font-size="12" text-anchor="middle">%s</text>`+"\n",
+		marginL+int(plotW/2), height-10, esc(c.XLabel))
+	fmt.Fprintf(&b, `<text x="16" y="%d" font-family="sans-serif" font-size="12" text-anchor="middle" transform="rotate(-90 16 %d)">%s</text>`+"\n",
+		marginT+int(plotH/2), marginT+int(plotH/2), esc(c.YLabel))
+
+	// Lines and legend.
+	for i, s := range c.Series {
+		color := palette[i%len(palette)]
+		var pts []string
+		for j := range s.X {
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", px(s.X[j]), py(s.Y[j])))
+		}
+		fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="1.8"/>`+"\n",
+			strings.Join(pts, " "), color)
+		lx, ly := width-marginR-150, marginT+14+i*18
+		fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="2"/>`+"\n",
+			lx, ly-4, lx+22, ly-4, color)
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-family="sans-serif" font-size="11">%s</text>`+"\n",
+			lx+28, ly, esc(s.Label))
+	}
+	b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func (c *Chart) xval(x float64) float64 {
+	if c.LogX {
+		return math.Log2(x)
+	}
+	return x
+}
+
+// xticks picks tick positions in data space.
+func (c *Chart) xticks(xmin, xmax float64) []float64 {
+	var out []float64
+	if c.LogX {
+		for e := math.Ceil(xmin); e <= math.Floor(xmax); e++ {
+			out = append(out, math.Exp2(e))
+		}
+		// Thin to at most 8 labels.
+		for len(out) > 8 {
+			thinned := out[:0]
+			for i := 0; i < len(out); i += 2 {
+				thinned = append(thinned, out[i])
+			}
+			out = thinned
+		}
+		return out
+	}
+	span := xmax - xmin
+	step := math.Pow(10, math.Floor(math.Log10(span/5)))
+	for _, m := range []float64{1, 2, 5, 10} {
+		if span/(step*m) <= 6 {
+			step *= m
+			break
+		}
+	}
+	start := math.Ceil(xmin/step) * step
+	for x := start; x <= xmax+1e-9; x += step {
+		out = append(out, x)
+	}
+	return out
+}
+
+func (c *Chart) xtickLabel(x float64) string {
+	if c.LogX {
+		// File sizes: label in KB/MB.
+		switch {
+		case x >= 1<<20:
+			return fmt.Sprintf("%gM", x/(1<<20))
+		case x >= 1<<10:
+			return fmt.Sprintf("%gK", x/(1<<10))
+		default:
+			return trimNum(x)
+		}
+	}
+	return trimNum(x)
+}
+
+func trimNum(v float64) string {
+	s := fmt.Sprintf("%.2f", v)
+	s = strings.TrimRight(s, "0")
+	return strings.TrimRight(s, ".")
+}
+
+func esc(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+// SortedByX returns a copy of the series with points ordered by x, as
+// polylines require.
+func SortedByX(s Series) Series {
+	idx := make([]int, len(s.X))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return s.X[idx[a]] < s.X[idx[b]] })
+	out := Series{Label: s.Label, X: make([]float64, len(idx)), Y: make([]float64, len(idx))}
+	for i, j := range idx {
+		out.X[i], out.Y[i] = s.X[j], s.Y[j]
+	}
+	return out
+}

@@ -1,0 +1,96 @@
+package plot
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func sampleChart() *Chart {
+	return &Chart{
+		Title:  "Test <Chart> & Friends",
+		XLabel: "Time (Days)",
+		YLabel: "Aggregate Layout Score",
+		YMin:   0,
+		YMax:   1,
+		Series: []Series{
+			{Label: "ffs", X: []float64{1, 2, 3}, Y: []float64{0.9, 0.8, 0.7}},
+			{Label: "realloc", X: []float64{1, 2, 3}, Y: []float64{0.95, 0.93, 0.9}},
+		},
+	}
+}
+
+func TestWriteSVGWellFormed(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleChart().WriteSVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	svg := buf.String()
+	for _, want := range []string{
+		"<svg", "</svg>", "polyline", "Aggregate Layout Score",
+		"Time (Days)", "ffs", "realloc",
+	} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+	// The title must be escaped.
+	if strings.Contains(svg, "<Chart>") {
+		t.Error("unescaped title")
+	}
+	if !strings.Contains(svg, "Test &lt;Chart&gt; &amp; Friends") {
+		t.Error("escaped title missing")
+	}
+	// Two series → two polylines.
+	if got := strings.Count(svg, "<polyline"); got != 2 {
+		t.Errorf("%d polylines, want 2", got)
+	}
+}
+
+func TestWriteSVGLogX(t *testing.T) {
+	c := &Chart{
+		Title: "sizes", XLabel: "File Size", YLabel: "Score", LogX: true,
+		Series: []Series{{Label: "s", X: []float64{16 << 10, 1 << 20, 16 << 20}, Y: []float64{1, 2, 3}}},
+	}
+	var buf bytes.Buffer
+	if err := c.WriteSVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	svg := buf.String()
+	// Size labels in K/M units.
+	if !strings.Contains(svg, "K<") && !strings.Contains(svg, "M<") {
+		t.Error("no size-unit tick labels")
+	}
+}
+
+func TestWriteSVGValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := (&Chart{Title: "empty"}).WriteSVG(&buf); err == nil {
+		t.Error("empty chart accepted")
+	}
+	bad := &Chart{Series: []Series{{Label: "x", X: []float64{1}, Y: []float64{1, 2}}}}
+	if err := bad.WriteSVG(&buf); err == nil {
+		t.Error("mismatched series accepted")
+	}
+	empty := &Chart{Series: []Series{{Label: "x"}}}
+	if err := empty.WriteSVG(&buf); err == nil {
+		t.Error("empty series accepted")
+	}
+}
+
+func TestSortedByX(t *testing.T) {
+	s := SortedByX(Series{Label: "z", X: []float64{3, 1, 2}, Y: []float64{30, 10, 20}})
+	if s.X[0] != 1 || s.Y[0] != 10 || s.X[2] != 3 || s.Y[2] != 30 {
+		t.Errorf("sorted = %+v", s)
+	}
+}
+
+func TestFlatSeriesDoesNotPanic(t *testing.T) {
+	c := &Chart{
+		Title: "flat", Series: []Series{{Label: "f", X: []float64{5}, Y: []float64{2}}},
+	}
+	var buf bytes.Buffer
+	if err := c.WriteSVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+}

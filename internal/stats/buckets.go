@@ -1,0 +1,94 @@
+package stats
+
+import (
+	"fmt"
+	"sort"
+)
+
+// SizeBucket is one point on a layout-score-vs-file-size curve
+// (Figures 3, 5 and 6 of the paper): all files whose size falls in
+// (Lo, Hi] bytes, the weighted score across them, and how many files and
+// blocks contributed.
+type SizeBucket struct {
+	Lo, Hi int64 // bytes, half-open (Lo, Hi]
+	Label  string
+	Files  int
+	Blocks int     // scoreable blocks (excludes first blocks)
+	Score  float64 // aggregate layout score of the bucket
+}
+
+// PowerOfTwoBuckets returns size buckets (lo, hi] covering [minSize,
+// maxSize] with power-of-two boundaries, labelled in KB as in the paper's
+// x axes (16, 32, ..., 16384). minSize and maxSize must be positive
+// powers of two with minSize < maxSize.
+func PowerOfTwoBuckets(minSize, maxSize int64) []SizeBucket {
+	if minSize <= 0 || maxSize <= minSize {
+		panic(fmt.Sprintf("stats: bad bucket bounds [%d,%d]", minSize, maxSize))
+	}
+	var out []SizeBucket
+	lo := minSize / 2
+	for hi := minSize; hi <= maxSize; hi *= 2 {
+		out = append(out, SizeBucket{Lo: lo, Hi: hi, Label: sizeLabel(hi)})
+		lo = hi
+	}
+	return out
+}
+
+func sizeLabel(bytes int64) string {
+	switch {
+	case bytes >= 1<<20 && bytes%(1<<20) == 0:
+		return fmt.Sprintf("%dMB", bytes>>20)
+	case bytes >= 1<<10:
+		return fmt.Sprintf("%dKB", bytes>>10)
+	default:
+		return fmt.Sprintf("%dB", bytes)
+	}
+}
+
+// BucketIndex returns the index of the bucket containing size, or -1.
+func BucketIndex(buckets []SizeBucket, size int64) int {
+	i := sort.Search(len(buckets), func(i int) bool { return buckets[i].Hi >= size })
+	if i < len(buckets) && size > buckets[i].Lo && size <= buckets[i].Hi {
+		return i
+	}
+	return -1
+}
+
+// TimePoint is one day of a layout-over-time series (Figures 1 and 2).
+type TimePoint struct {
+	Day   int
+	Value float64
+}
+
+// Series is a daily time series.
+type Series []TimePoint
+
+// Final returns the last value of the series; it panics when empty.
+func (s Series) Final() float64 {
+	if len(s) == 0 {
+		panic("stats: Final of empty series")
+	}
+	return s[len(s)-1].Value
+}
+
+// At returns the value recorded for day d, or the nearest earlier day's
+// value; it panics when the series is empty or d precedes the first day.
+func (s Series) At(d int) float64 {
+	if len(s) == 0 {
+		panic("stats: At of empty series")
+	}
+	i := sort.Search(len(s), func(i int) bool { return s[i].Day > d })
+	if i == 0 {
+		panic(fmt.Sprintf("stats: day %d precedes series start %d", d, s[0].Day))
+	}
+	return s[i-1].Value
+}
+
+// MeanValue returns the mean of the series' values.
+func (s Series) MeanValue() float64 {
+	vals := make([]float64, len(s))
+	for i, p := range s {
+		vals[i] = p.Value
+	}
+	return Mean(vals)
+}

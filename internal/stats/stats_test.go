@@ -1,0 +1,181 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestMean(t *testing.T) {
+	if got := Mean(nil); got != 0 {
+		t.Errorf("Mean(nil) = %v", got)
+	}
+	if got := Mean([]float64{2, 4, 6}); !almost(got, 4) {
+		t.Errorf("Mean = %v, want 4", got)
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	if got := StdDev([]float64{5}); got != 0 {
+		t.Errorf("StdDev single = %v", got)
+	}
+	// Sample sd of {2,4,4,4,5,5,7,9} is ~2.138.
+	got := StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if math.Abs(got-2.1380899) > 1e-6 {
+		t.Errorf("StdDev = %v, want ~2.138", got)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 7, 2}
+	if got := Min(xs); got != -1 {
+		t.Errorf("Min = %v", got)
+	}
+	if got := Max(xs); got != 7 {
+		t.Errorf("Max = %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Min(empty) did not panic")
+		}
+	}()
+	Min(nil)
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {50, 3}, {100, 5}, {25, 2}, {10, 1.4},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); !almost(got, c.want) {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if got := Percentile([]float64{9}, 75); got != 9 {
+		t.Errorf("Percentile single = %v", got)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3})
+	if s.N != 3 || !almost(s.Mean, 2) || s.Min != 1 || s.Max != 3 {
+		t.Errorf("Summarize = %+v", s)
+	}
+	if s.RelStdDev() <= 0 {
+		t.Errorf("RelStdDev = %v", s.RelStdDev())
+	}
+	zero := Summarize(nil)
+	if zero.N != 0 || zero.RelStdDev() != 0 {
+		t.Errorf("Summarize(nil) = %+v", zero)
+	}
+	if s.String() == "" {
+		t.Error("empty String")
+	}
+}
+
+func TestPowerOfTwoBuckets(t *testing.T) {
+	bs := PowerOfTwoBuckets(16<<10, 16<<20)
+	if len(bs) != 11 {
+		t.Fatalf("len = %d, want 11 (16KB..16MB)", len(bs))
+	}
+	if bs[0].Label != "16KB" || bs[0].Lo != 8<<10 || bs[0].Hi != 16<<10 {
+		t.Errorf("first bucket = %+v", bs[0])
+	}
+	if bs[10].Label != "16MB" || bs[10].Hi != 16<<20 {
+		t.Errorf("last bucket = %+v", bs[10])
+	}
+}
+
+func TestBucketIndex(t *testing.T) {
+	bs := PowerOfTwoBuckets(16<<10, 1<<20)
+	cases := []struct {
+		size int64
+		want int
+	}{
+		{16 << 10, 0},   // exactly 16KB → first bucket
+		{8<<10 + 1, 0},  // just above lo
+		{8 << 10, -1},   // at lo is excluded
+		{17 << 10, 1},   // (16KB,32KB]
+		{1 << 20, 6},    // exactly 1MB → last
+		{1<<20 + 1, -1}, // beyond
+		{1, -1},         // tiny
+	}
+	for _, c := range cases {
+		if got := BucketIndex(bs, c.size); got != c.want {
+			t.Errorf("BucketIndex(%d) = %d, want %d", c.size, got, c.want)
+		}
+	}
+}
+
+func TestSeries(t *testing.T) {
+	s := Series{{1, 0.9}, {2, 0.8}, {5, 0.7}}
+	if got := s.Final(); got != 0.7 {
+		t.Errorf("Final = %v", got)
+	}
+	if got := s.At(2); got != 0.8 {
+		t.Errorf("At(2) = %v", got)
+	}
+	if got := s.At(4); got != 0.8 {
+		t.Errorf("At(4) = %v (nearest earlier)", got)
+	}
+	if got := s.At(9); got != 0.7 {
+		t.Errorf("At(9) = %v", got)
+	}
+	if got := s.MeanValue(); !almost(got, 0.8) {
+		t.Errorf("MeanValue = %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("At before start did not panic")
+		}
+	}()
+	s.At(0)
+}
+
+// Property: percentile is monotone in p and bounded by min/max.
+func TestQuickPercentileMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(50)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 100
+		}
+		prev := math.Inf(-1)
+		for p := 0.0; p <= 100; p += 5 {
+			v := Percentile(xs, p)
+			if v < prev || v < Min(xs)-1e-9 || v > Max(xs)+1e-9 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: every size in (minSize/2, maxSize] maps to exactly one bucket.
+func TestQuickBucketCoverage(t *testing.T) {
+	bs := PowerOfTwoBuckets(16<<10, 32<<20)
+	f := func(raw uint32) bool {
+		size := int64(raw)%(32<<20) + 1
+		idx := BucketIndex(bs, size)
+		if size <= 8<<10 {
+			return idx == -1
+		}
+		if idx < 0 {
+			return false
+		}
+		b := bs[idx]
+		return size > b.Lo && size <= b.Hi
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

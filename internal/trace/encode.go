@@ -1,0 +1,252 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Binary format: a magic+version header, then a varint-encoded record
+// stream. All integers are unsigned/zig-zag varints; times are float64
+// bits. The format is append-friendly and streamable.
+
+var (
+	workloadMagic = [4]byte{'F', 'F', 'W', '1'}
+	snapshotMagic = [4]byte{'F', 'F', 'S', '1'}
+)
+
+type countingWriter struct {
+	w *bufio.Writer
+}
+
+func (cw countingWriter) uv(x uint64) error {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], x)
+	_, err := cw.w.Write(buf[:n])
+	return err
+}
+
+func (cw countingWriter) sv(x int64) error {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutVarint(buf[:], x)
+	_, err := cw.w.Write(buf[:n])
+	return err
+}
+
+func (cw countingWriter) f64(x float64) error {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], math.Float64bits(x))
+	_, err := cw.w.Write(buf[:])
+	return err
+}
+
+type reader struct {
+	r *bufio.Reader
+}
+
+func (rd reader) uv() (uint64, error) { return binary.ReadUvarint(rd.r) }
+func (rd reader) sv() (int64, error)  { return binary.ReadVarint(rd.r) }
+
+func (rd reader) f64() (float64, error) {
+	var buf [8]byte
+	if _, err := io.ReadFull(rd.r, buf[:]); err != nil {
+		return 0, err
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(buf[:])), nil
+}
+
+// WriteWorkload serializes w in the binary workload format.
+func WriteWorkload(w io.Writer, wl *Workload) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(workloadMagic[:]); err != nil {
+		return err
+	}
+	cw := countingWriter{bw}
+	if err := cw.uv(uint64(wl.Days)); err != nil {
+		return err
+	}
+	if err := cw.uv(uint64(len(wl.Ops))); err != nil {
+		return err
+	}
+	for _, op := range wl.Ops {
+		flags := uint64(op.Kind)
+		if op.ShortLived {
+			flags |= 0x80
+		}
+		if err := cw.uv(flags); err != nil {
+			return err
+		}
+		if err := cw.uv(uint64(op.Day)); err != nil {
+			return err
+		}
+		if err := cw.f64(op.Sec); err != nil {
+			return err
+		}
+		if err := cw.sv(op.ID); err != nil {
+			return err
+		}
+		if err := cw.uv(uint64(op.Cg)); err != nil {
+			return err
+		}
+		if err := cw.sv(op.Size); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadWorkload deserializes a binary workload.
+func ReadWorkload(r io.Reader) (*Workload, error) {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if magic != workloadMagic {
+		return nil, fmt.Errorf("trace: bad workload magic %q", magic[:])
+	}
+	rd := reader{br}
+	days, err := rd.uv()
+	if err != nil {
+		return nil, err
+	}
+	n, err := rd.uv()
+	if err != nil {
+		return nil, err
+	}
+	if n > 1<<28 {
+		return nil, fmt.Errorf("trace: implausible op count %d", n)
+	}
+	wl := &Workload{Days: int(days), Ops: make([]Op, 0, n)}
+	for i := uint64(0); i < n; i++ {
+		var op Op
+		flags, err := rd.uv()
+		if err != nil {
+			return nil, fmt.Errorf("trace: op %d: %w", i, err)
+		}
+		op.Kind = OpKind(flags &^ 0x80)
+		op.ShortLived = flags&0x80 != 0
+		if op.Kind < OpCreate || op.Kind > OpRewrite {
+			return nil, fmt.Errorf("trace: op %d: bad kind %d", i, op.Kind)
+		}
+		day, err := rd.uv()
+		if err != nil {
+			return nil, err
+		}
+		op.Day = int(day)
+		if op.Sec, err = rd.f64(); err != nil {
+			return nil, err
+		}
+		if op.ID, err = rd.sv(); err != nil {
+			return nil, err
+		}
+		cg, err := rd.uv()
+		if err != nil {
+			return nil, err
+		}
+		op.Cg = int(cg)
+		if op.Size, err = rd.sv(); err != nil {
+			return nil, err
+		}
+		wl.Ops = append(wl.Ops, op)
+	}
+	return wl, nil
+}
+
+// WriteSnapshots serializes a series of snapshots.
+func WriteSnapshots(w io.Writer, snaps []Snapshot) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(snapshotMagic[:]); err != nil {
+		return err
+	}
+	cw := countingWriter{bw}
+	if err := cw.uv(uint64(len(snaps))); err != nil {
+		return err
+	}
+	for _, s := range snaps {
+		if err := cw.uv(uint64(s.Day)); err != nil {
+			return err
+		}
+		if err := cw.uv(uint64(len(s.Files))); err != nil {
+			return err
+		}
+		for _, f := range s.Files {
+			if err := cw.sv(f.Ino); err != nil {
+				return err
+			}
+			if err := cw.sv(f.Size); err != nil {
+				return err
+			}
+			if err := cw.f64(f.CTime); err != nil {
+				return err
+			}
+			d := uint64(0)
+			if f.IsDir {
+				d = 1
+			}
+			if err := cw.uv(d); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadSnapshots deserializes a snapshot series.
+func ReadSnapshots(r io.Reader) ([]Snapshot, error) {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if magic != snapshotMagic {
+		return nil, fmt.Errorf("trace: bad snapshot magic %q", magic[:])
+	}
+	rd := reader{br}
+	n, err := rd.uv()
+	if err != nil {
+		return nil, err
+	}
+	if n > 1<<20 {
+		return nil, fmt.Errorf("trace: implausible snapshot count %d", n)
+	}
+	snaps := make([]Snapshot, 0, n)
+	for i := uint64(0); i < n; i++ {
+		var s Snapshot
+		day, err := rd.uv()
+		if err != nil {
+			return nil, err
+		}
+		s.Day = int(day)
+		nf, err := rd.uv()
+		if err != nil {
+			return nil, err
+		}
+		if nf > 1<<26 {
+			return nil, fmt.Errorf("trace: implausible file count %d", nf)
+		}
+		s.Files = make([]FileMeta, 0, nf)
+		for j := uint64(0); j < nf; j++ {
+			var f FileMeta
+			if f.Ino, err = rd.sv(); err != nil {
+				return nil, err
+			}
+			if f.Size, err = rd.sv(); err != nil {
+				return nil, err
+			}
+			if f.CTime, err = rd.f64(); err != nil {
+				return nil, err
+			}
+			d, err := rd.uv()
+			if err != nil {
+				return nil, err
+			}
+			f.IsDir = d != 0
+			s.Files = append(s.Files, f)
+		}
+		snaps = append(snaps, s)
+	}
+	return snaps, nil
+}

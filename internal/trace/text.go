@@ -1,0 +1,98 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteWorkloadText emits the workload in a line-oriented text format
+// for inspection and diffing:
+//
+//	# ffsage workload days=<n>
+//	<day> <sec> <kind> <id> <cg> <size> [short]
+func WriteWorkloadText(w io.Writer, wl *Workload) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# ffsage workload days=%d\n", wl.Days); err != nil {
+		return err
+	}
+	for _, op := range wl.Ops {
+		short := ""
+		if op.ShortLived {
+			short = " short"
+		}
+		if _, err := fmt.Fprintf(bw, "%d %.3f %s %d %d %d%s\n",
+			op.Day, op.Sec, op.Kind, op.ID, op.Cg, op.Size, short); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadWorkloadText parses the text format.
+func ReadWorkloadText(r io.Reader) (*Workload, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	wl := &Workload{}
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if _, after, ok := strings.Cut(line, "days="); ok {
+				fields := strings.Fields(after)
+				if len(fields) == 0 {
+					return nil, fmt.Errorf("trace: line %d: empty days=", lineNo)
+				}
+				d, err := strconv.Atoi(fields[0])
+				if err != nil {
+					return nil, fmt.Errorf("trace: line %d: bad days: %w", lineNo, err)
+				}
+				wl.Days = d
+			}
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) < 6 {
+			return nil, fmt.Errorf("trace: line %d: %d fields", lineNo, len(f))
+		}
+		var op Op
+		var err error
+		if op.Day, err = strconv.Atoi(f[0]); err != nil {
+			return nil, fmt.Errorf("trace: line %d day: %w", lineNo, err)
+		}
+		if op.Sec, err = strconv.ParseFloat(f[1], 64); err != nil {
+			return nil, fmt.Errorf("trace: line %d sec: %w", lineNo, err)
+		}
+		switch f[2] {
+		case "create":
+			op.Kind = OpCreate
+		case "delete":
+			op.Kind = OpDelete
+		case "rewrite":
+			op.Kind = OpRewrite
+		default:
+			return nil, fmt.Errorf("trace: line %d: kind %q", lineNo, f[2])
+		}
+		if op.ID, err = strconv.ParseInt(f[3], 10, 64); err != nil {
+			return nil, fmt.Errorf("trace: line %d id: %w", lineNo, err)
+		}
+		if op.Cg, err = strconv.Atoi(f[4]); err != nil {
+			return nil, fmt.Errorf("trace: line %d cg: %w", lineNo, err)
+		}
+		if op.Size, err = strconv.ParseInt(f[5], 10, 64); err != nil {
+			return nil, fmt.Errorf("trace: line %d size: %w", lineNo, err)
+		}
+		op.ShortLived = len(f) > 6 && f[6] == "short"
+		wl.Ops = append(wl.Ops, op)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return wl, nil
+}

@@ -1,0 +1,151 @@
+// Package trace defines the data that flows through the aging pipeline
+// — file-system snapshots, NFS-style short-lived file traces, and the
+// replayable operation log — together with compact binary and
+// human-readable text serializations for all of them.
+//
+// These are the reproduction's stand-ins for the paper's two source
+// data sets: the nightly Harvard file-system snapshots [Smith94] and
+// the Network Appliance NFS traces [Blackwell95]. See DESIGN.md §2 for
+// the substitution argument.
+package trace
+
+import "fmt"
+
+// OpKind is a replayable file operation.
+type OpKind uint8
+
+const (
+	// OpCreate creates a file of Size bytes.
+	OpCreate OpKind = iota + 1
+	// OpDelete removes the file.
+	OpDelete
+	// OpRewrite models the paper's modify heuristic: the file is
+	// removed (or truncated to zero) and rewritten at Size bytes.
+	OpRewrite
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case OpCreate:
+		return "create"
+	case OpDelete:
+		return "delete"
+	case OpRewrite:
+		return "rewrite"
+	default:
+		return fmt.Sprintf("OpKind(%d)", uint8(k))
+	}
+}
+
+// Op is one operation in the aging workload. Time is expressed as a day
+// number plus seconds within the day; ordering is (Day, Sec, ID).
+type Op struct {
+	Day  int
+	Sec  float64
+	Kind OpKind
+	// ID identifies the file across operations. For snapshot-derived
+	// files it encodes the original system's inode number; short-lived
+	// files carry synthetic IDs. IDs are unique per live file.
+	ID int64
+	// Cg is the cylinder group the file occupied on the original
+	// system (ino / ipg there); the replayer routes the file to the
+	// matching per-group directory, per Section 3.2 of the paper.
+	Cg int
+	// Size in bytes; meaningful for OpCreate and OpRewrite.
+	Size int64
+	// ShortLived marks operations merged in from the NFS trace.
+	ShortLived bool
+}
+
+// Before reports whether a sorts before b. The order is total —
+// (Day, Sec, ID, Kind) — so sorting an op stream is deterministic even
+// with coincident timestamps, and a same-instant create/delete pair of
+// one ID replays create-first.
+func (a Op) Before(b Op) bool {
+	if a.Day != b.Day {
+		return a.Day < b.Day
+	}
+	if a.Sec != b.Sec {
+		return a.Sec < b.Sec
+	}
+	if a.ID != b.ID {
+		return a.ID < b.ID
+	}
+	return a.Kind < b.Kind
+}
+
+// FileMeta is one file's record in a nightly snapshot: what [Smith94]
+// captured (inode number, change time, type, size; we do not need the
+// block list on the source side).
+type FileMeta struct {
+	Ino   int64
+	Size  int64
+	CTime float64 // inode change time, absolute seconds since day 0
+	IsDir bool
+}
+
+// Snapshot is the state of the source file system at the end of a day.
+type Snapshot struct {
+	Day   int
+	Files []FileMeta // sorted by Ino
+}
+
+// ShortLivedFile is one same-day create/delete pair extracted from the
+// NFS trace: the paper's unit for augmenting the snapshot workload.
+type ShortLivedFile struct {
+	Dir       int // directory key within the trace day
+	CreateSec float64
+	DeleteSec float64
+	Size      int64
+}
+
+// TraceDay is the short-lived file activity of one traced day.
+type TraceDay struct {
+	Files []ShortLivedFile
+}
+
+// Workload is a complete replayable aging workload.
+type Workload struct {
+	Days int
+	Ops  []Op // sorted by (Day, Sec, ID)
+}
+
+// Stats summarizes a workload the way the paper reports it (Section
+// 3.1: "approximately 800,000 file operations that write 48.6 gigabytes
+// of data").
+type Stats struct {
+	Ops          int
+	Creates      int
+	Deletes      int
+	Rewrites     int
+	ShortLived   int
+	BytesWritten int64
+}
+
+// Summarize computes workload statistics.
+func (w *Workload) Summarize() Stats {
+	var s Stats
+	s.Ops = len(w.Ops)
+	for _, op := range w.Ops {
+		switch op.Kind {
+		case OpCreate:
+			s.Creates++
+			s.BytesWritten += op.Size
+		case OpDelete:
+			s.Deletes++
+		case OpRewrite:
+			s.Rewrites++
+			s.BytesWritten += op.Size
+		}
+		if op.ShortLived {
+			s.ShortLived++
+		}
+	}
+	return s
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("%d ops (%d create, %d delete, %d rewrite; %d short-lived), %.1f GB written",
+		s.Ops, s.Creates, s.Deletes, s.Rewrites, s.ShortLived,
+		float64(s.BytesWritten)/(1<<30))
+}

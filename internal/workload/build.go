@@ -1,0 +1,57 @@
+package workload
+
+import (
+	"math/rand"
+
+	"ffsage/internal/trace"
+)
+
+// Build is the end-to-end pipeline: simulate the reference system, take
+// its snapshots, reconstruct a workload from them, and merge in the
+// synthetic NFS trace. It returns both the ground-truth stream (the
+// paper's "Real" file system) and the reconstructed aging workload (the
+// paper's "Simulated" one), which Figure 1 compares.
+type Build struct {
+	Config    Config
+	Reference *ReferenceResult
+	// Reconstructed is the snapshot-diffed workload with short-lived
+	// activity merged in — the workload the paper's aging tool
+	// replays.
+	Reconstructed *trace.Workload
+	// TraceDays is the synthetic NFS trace used for the merge.
+	TraceDays []trace.TraceDay
+}
+
+// BuildPaperWorkload runs the full pipeline with the default
+// calibration and the given seed.
+func BuildPaperWorkload(seed int64) (*Build, error) {
+	return BuildWorkload(DefaultConfig(seed), DefaultNFSTraceConfig(seed+1))
+}
+
+// BuildWorkload runs the full pipeline with explicit configurations.
+func BuildWorkload(cfg Config, nfsCfg NFSTraceConfig) (*Build, error) {
+	ref, err := GenerateReference(cfg)
+	if err != nil {
+		return nil, err
+	}
+	tdays, err := GenerateNFSTrace(nfsCfg)
+	if err != nil {
+		return nil, err
+	}
+	// Seed offsets keep the differ's random delete times and the
+	// merger's trace-day draws independent of the generator streams.
+	diffed, err := Diff(ref.Snapshots, cfg.NumCg, cfg.InodesPerGroup, rand.New(rand.NewSource(cfg.Seed+101)))
+	if err != nil {
+		return nil, err
+	}
+	merged, err := Merge(diffed, tdays, cfg.NumCg, rand.New(rand.NewSource(cfg.Seed+202)))
+	if err != nil {
+		return nil, err
+	}
+	return &Build{
+		Config:        cfg,
+		Reference:     ref,
+		Reconstructed: merged,
+		TraceDays:     tdays,
+	}, nil
+}

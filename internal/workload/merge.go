@@ -1,0 +1,131 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"ffsage/internal/trace"
+)
+
+// Merge integrates short-lived file activity from the NFS trace into a
+// snapshot-derived workload, following Section 3.1 of the paper:
+//
+//   - for each day of the snapshot workload, one trace day is selected
+//     at random;
+//   - the trace day's directories are matched to the cylinder groups
+//     with the most changes that day (busiest trace directory → busiest
+//     group);
+//   - each directory's operations are time-shifted so they coincide
+//     with the peak of activity in the group they join.
+//
+// Short-lived files receive synthetic negative IDs so they can never
+// collide with snapshot-derived inode numbers. The result is a new
+// workload; the input is not modified.
+func Merge(base *trace.Workload, traceDays []trace.TraceDay, numCg int, rng *rand.Rand) (*trace.Workload, error) {
+	if len(traceDays) == 0 {
+		return nil, fmt.Errorf("workload: no trace days to merge")
+	}
+	if numCg <= 0 {
+		return nil, fmt.Errorf("workload: bad group count %d", numCg)
+	}
+	// Index base operations by day.
+	byDay := map[int][]trace.Op{}
+	for _, op := range base.Ops {
+		byDay[op.Day] = append(byDay[op.Day], op)
+	}
+	merged := make([]trace.Op, len(base.Ops))
+	copy(merged, base.Ops)
+	nextID := int64(-1)
+
+	for day := 0; day < base.Days; day++ {
+		td := traceDays[rng.Intn(len(traceDays))]
+		if len(td.Files) == 0 {
+			continue
+		}
+		// Rank the day's groups by operation count; compute each
+		// group's mean operation time as its activity peak.
+		type cgAct struct {
+			cg      int
+			ops     int
+			meanSec float64
+		}
+		acts := make([]cgAct, numCg)
+		for cg := range acts {
+			acts[cg].cg = cg
+		}
+		for _, op := range byDay[day] {
+			if op.Cg >= 0 && op.Cg < numCg {
+				acts[op.Cg].ops++
+				acts[op.Cg].meanSec += op.Sec
+			}
+		}
+		for i := range acts {
+			if acts[i].ops > 0 {
+				acts[i].meanSec /= float64(acts[i].ops)
+			} else {
+				acts[i].meanSec = 13 * 3600
+			}
+		}
+		sort.SliceStable(acts, func(i, j int) bool { return acts[i].ops > acts[j].ops })
+
+		// Rank trace directories by their op counts and group their
+		// files.
+		dirFiles := map[int][]trace.ShortLivedFile{}
+		for _, f := range td.Files {
+			dirFiles[f.Dir] = append(dirFiles[f.Dir], f)
+		}
+		dirs := make([]int, 0, len(dirFiles))
+		for d := range dirFiles {
+			dirs = append(dirs, d)
+		}
+		sort.Slice(dirs, func(i, j int) bool {
+			if len(dirFiles[dirs[i]]) != len(dirFiles[dirs[j]]) {
+				return len(dirFiles[dirs[i]]) > len(dirFiles[dirs[j]])
+			}
+			return dirs[i] < dirs[j]
+		})
+
+		for rank, d := range dirs {
+			target := acts[rank%numCg]
+			files := dirFiles[d]
+			// Time-shift this directory's activity so its mean lands
+			// on the target group's activity peak.
+			var mean float64
+			for _, f := range files {
+				mean += f.CreateSec
+			}
+			mean /= float64(len(files))
+			shift := target.meanSec - mean
+			for _, f := range files {
+				cs := clampSec(f.CreateSec + shift)
+				ds := clampSec(f.DeleteSec + shift)
+				if ds <= cs {
+					// Keep the delete strictly after the create even at
+					// the end-of-day clamp; a Sec marginally past
+					// midnight only affects ordering, which is what we
+					// want.
+					ds = cs + 0.5
+				}
+				id := nextID
+				nextID--
+				merged = append(merged,
+					trace.Op{Day: day, Sec: cs, Kind: trace.OpCreate, ID: id, Cg: target.cg, Size: f.Size, ShortLived: true},
+					trace.Op{Day: day, Sec: ds, Kind: trace.OpDelete, ID: id, Cg: target.cg, ShortLived: true},
+				)
+			}
+		}
+	}
+	sort.Slice(merged, func(i, j int) bool { return merged[i].Before(merged[j]) })
+	return &trace.Workload{Days: base.Days, Ops: merged}, nil
+}
+
+func clampSec(s float64) float64 {
+	if s < 0 {
+		return 0
+	}
+	if s > 86399 {
+		return 86399
+	}
+	return s
+}

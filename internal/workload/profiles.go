@@ -1,0 +1,97 @@
+package workload
+
+// Profiles implement the paper's future-work direction (§6): "generate
+// a variety of different aging workloads representative of different
+// file system usage patterns, such as news, database, and personal
+// computing workloads ... to determine the file system design
+// parameters that are best suited for each type of workload."
+//
+// Each profile reshapes the reference generator around one usage
+// pattern while keeping the byte volume comparable, so aged layouts are
+// attributable to workload *character* rather than intensity.
+
+// Profile identifies a usage pattern.
+type Profile string
+
+// The supported usage patterns.
+const (
+	// ProfileResearch is the paper's source system: a research group's
+	// home directories (the DefaultConfig calibration).
+	ProfileResearch Profile = "research"
+	// ProfileNews models a Usenet spool: torrents of small files
+	// created continuously and expired in age order a few days later.
+	// Extreme create/delete churn, almost no rewrites, no large files.
+	ProfileNews Profile = "news"
+	// ProfileDatabase models a database server: a handful of very
+	// large, long-lived files absorbing continual in-place rewrite
+	// traffic, plus small log files that rotate.
+	ProfileDatabase Profile = "database"
+	// ProfilePersonal models a single user's workstation: modest
+	// activity, strong diurnal shape, medium files, a large standing
+	// population of rarely touched documents.
+	ProfilePersonal Profile = "personal"
+)
+
+// Profiles lists the supported patterns.
+func Profiles() []Profile {
+	return []Profile{ProfileResearch, ProfileNews, ProfileDatabase, ProfilePersonal}
+}
+
+// ProfileConfig returns a generator configuration for the pattern,
+// derived from the default calibration.
+func ProfileConfig(p Profile, seed int64) Config {
+	c := DefaultConfig(seed)
+	switch p {
+	case ProfileResearch:
+		// The default calibration.
+	case ProfileNews:
+		// A spool: everything is churn. Small articles, lifetimes of a
+		// few days (expire), very high operation counts, no rewrite
+		// traffic, utilization pinned high.
+		c.ChurnBytesPerDay = 160 << 20
+		c.RewriteFrac = 0.02
+		c.LongSize = SizeDist{MedianBytes: 3 << 10, Sigma: 1.3, MaxBytes: 256 << 10}
+		c.ShortSize = SizeDist{MedianBytes: 2 << 10, Sigma: 1.2, MaxBytes: 64 << 10}
+		c.ShortPairsPerDay = 2500
+		c.MeanLiveBytes = 6 << 10
+		c.NumDirs = 120 // one per active newsgroup
+		c.BurstProb = 0.02
+	case ProfileDatabase:
+		// Few files, big files, rewrites dominate; the standing
+		// population barely changes.
+		c.ChurnBytesPerDay = 120 << 20
+		c.RewriteFrac = 0.9
+		c.LongSize = SizeDist{MedianBytes: 2 << 20, Sigma: 1.2, MaxBytes: 64 << 20}
+		c.ShortSize = SizeDist{MedianBytes: 16 << 10, Sigma: 1.2, MaxBytes: 1 << 20}
+		c.ShortPairsPerDay = 40 // sort spills, dump staging
+		c.MeanLiveBytes = 3 << 20
+		c.NumDirs = 6
+		c.BurstProb = 0.01
+	case ProfilePersonal:
+		// One user: light churn, bursty editing, documents linger.
+		c.ChurnBytesPerDay = 18 << 20
+		c.RewriteFrac = 0.45
+		c.LongSize = SizeDist{MedianBytes: 14 << 10, Sigma: 2.1, MaxBytes: 8 << 20}
+		c.ShortSize = SizeDist{MedianBytes: 4 << 10, Sigma: 1.6, MaxBytes: 1 << 20}
+		c.ShortPairsPerDay = 150
+		c.MeanLiveBytes = 36 << 10
+		c.NumDirs = 14
+		c.BurstProb = 0.12
+		c.BurstMul = 5
+	default:
+		// Unknown profiles fall back to the default calibration so the
+		// caller's Validate sees a usable configuration; callers that
+		// care use KnownProfile first.
+	}
+	return c
+}
+
+// KnownProfile reports whether p names a supported pattern.
+func KnownProfile(p Profile) bool {
+	for _, q := range Profiles() {
+		if q == p {
+			return true
+		}
+	}
+	return false
+}

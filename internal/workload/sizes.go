@@ -1,0 +1,58 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// SizeDist is a truncated log-normal file size distribution — the
+// long-standing empirical shape of UNIX file sizes ([Satyanarayanan81],
+// [Ousterhout85]): a small median with a heavy tail of large files that
+// dominates the bytes written.
+type SizeDist struct {
+	MedianBytes float64
+	Sigma       float64 // log-space standard deviation
+	MaxBytes    int64
+}
+
+// Validate checks the distribution parameters.
+func (d SizeDist) Validate() error {
+	if d.MedianBytes <= 0 || d.Sigma <= 0 || d.MaxBytes <= int64(d.MedianBytes) {
+		return fmt.Errorf("workload: bad size distribution %+v", d)
+	}
+	return nil
+}
+
+// Sample draws one file size in bytes (≥ 1).
+func (d SizeDist) Sample(rng *rand.Rand) int64 {
+	v := math.Exp(math.Log(d.MedianBytes) + d.Sigma*rng.NormFloat64())
+	if v < 1 {
+		v = 1
+	}
+	if v > float64(d.MaxBytes) {
+		v = float64(d.MaxBytes)
+	}
+	return int64(v)
+}
+
+// MeanBytes returns the analytical mean of the untruncated distribution
+// (useful for converting byte budgets into expected op counts).
+func (d SizeDist) MeanBytes() float64 {
+	return d.MedianBytes * math.Exp(d.Sigma*d.Sigma/2)
+}
+
+// workdaySec draws a time of day (seconds) biased toward working hours:
+// a normal around 14:30 with a 3.5 h spread, folded into [0, 86400).
+func workdaySec(rng *rand.Rand) float64 {
+	s := 14.5*3600 + rng.NormFloat64()*3.5*3600
+	for s < 0 {
+		s += 86400
+	}
+	return math.Mod(s, 86400)
+}
+
+// lognormMul draws a day-to-day activity multiplier with median 1.
+func lognormMul(rng *rand.Rand, sigma float64) float64 {
+	return math.Exp(sigma * rng.NormFloat64())
+}
