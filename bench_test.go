@@ -8,6 +8,7 @@ package ffsage_test
 import (
 	"sync"
 	"testing"
+	"time"
 
 	"ffsage/internal/aging"
 	"ffsage/internal/bench"
@@ -15,6 +16,7 @@ import (
 	"ffsage/internal/experiments"
 	"ffsage/internal/ffs"
 	"ffsage/internal/layout"
+	"ffsage/internal/runner"
 	"ffsage/internal/workload"
 )
 
@@ -240,7 +242,8 @@ func BenchmarkAgingReplayThroughput(b *testing.B) {
 }
 
 // BenchmarkLayoutScore measures the layout-score computation over a
-// full aged image (it runs once per simulated day during aging).
+// full aged image by full rescan — the cost the replayer used to pay
+// once per simulated day before the incremental counters.
 func BenchmarkLayoutScore(b *testing.B) {
 	s := sharedSuite(b)
 	b.ResetTimer()
@@ -249,6 +252,48 @@ func BenchmarkLayoutScore(b *testing.B) {
 		agg = layout.FsAggregate(s.AgedFFS.Fs)
 	}
 	b.ReportMetric(agg, "layout")
+}
+
+// BenchmarkLayoutScoreIncremental measures the O(1) per-day path the
+// replayer now uses: the allocator-maintained counters. Compare with
+// BenchmarkLayoutScore, the rescan it replaced; the two values are
+// equal by construction.
+func BenchmarkLayoutScoreIncremental(b *testing.B) {
+	s := sharedSuite(b)
+	if got, want := s.AgedFFS.Fs.LayoutScore(), layout.FsAggregate(s.AgedFFS.Fs); got != want {
+		b.Fatalf("incremental score %v != rescan %v", got, want)
+	}
+	b.ResetTimer()
+	var agg float64
+	for i := 0; i < b.N; i++ {
+		agg = s.AgedFFS.Fs.LayoutScore()
+	}
+	b.ReportMetric(agg, "layout")
+}
+
+// BenchmarkParallelSweepSpeedup runs the Figure 4 sequential sweep with
+// one worker and with the full worker pool, reporting the wall-time
+// ratio. The sweep's size points are independent, so on an N-core
+// machine the pool approaches N× (≥2× on 4 cores); on a single core
+// the ratio is ~1 and the benchmark only demonstrates no regression.
+func BenchmarkParallelSweepSpeedup(b *testing.B) {
+	s := sharedSuite(b)
+	day := s.Days()
+	run := func(workers int) time.Duration {
+		start := time.Now()
+		for i := 0; i < b.N; i++ {
+			if _, err := bench.SequentialSweepN(s.AgedRealloc.Fs, s.Cfg.DiskParams,
+				s.Cfg.BenchSizes, s.Cfg.BenchTotal, day, workers); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return time.Since(start)
+	}
+	b.ResetTimer()
+	serial := run(1)
+	parallel := run(runner.Workers())
+	b.ReportMetric(serial.Seconds()/parallel.Seconds(), "x-speedup")
+	b.ReportMetric(float64(runner.Workers()), "workers")
 }
 
 // BenchmarkFsClone measures image cloning, which every benchmark run

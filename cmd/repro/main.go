@@ -6,11 +6,16 @@
 // Usage:
 //
 //	repro [-seed N] [-quick] [-only fig2,table2] [-ablations]
-//	      [-busstudy] [-profiles] [-md out.md] [-svg dir]
+//	      [-busstudy] [-profiles] [-j N] [-slowscore]
+//	      [-md out.md] [-svg dir]
 //
 // The full run ages three 502 MB file systems through a ten-month
 // workload and sweeps the sequential benchmark over 18 file sizes on
-// two of them; expect roughly a minute.
+// two of them; expect roughly a minute. Independent arms run on a
+// worker pool bounded by -j (default GOMAXPROCS); the report is
+// byte-identical regardless of -j because results are collected in
+// submission order. A per-job timing footer goes to stdout (never the
+// markdown report).
 package main
 
 import (
@@ -20,10 +25,12 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"time"
 
 	"ffsage/internal/bench"
 	"ffsage/internal/experiments"
 	"ffsage/internal/ffs"
+	"ffsage/internal/runner"
 	"ffsage/internal/stats"
 )
 
@@ -35,11 +42,17 @@ func main() {
 		ablations = flag.Bool("ablations", false, "also run the A1/A2/A4/A5 ablations")
 		profiles  = flag.Bool("profiles", false, "also run the §6 workload-profile study")
 		busStudy  = flag.Bool("busstudy", false, "also run the §5.1 bus-bandwidth study")
+		jobs      = flag.Int("j", 0, "max concurrent jobs (0 = GOMAXPROCS)")
+		slowScore = flag.Bool("slowscore", false, "compute daily layout scores by full rescan (cross-check of the incremental counters)")
 		mdPath    = flag.String("md", "", "also write a markdown report to this path")
 		svgDir    = flag.String("svg", "", "also render the six figures as SVG into this directory")
 	)
 	flag.Parse()
-	if err := run(options{*seed, *quick, *only, *ablations, *profiles, *busStudy, *mdPath, *svgDir}); err != nil {
+	if *jobs > 0 {
+		runner.SetWorkers(*jobs)
+	}
+	runner.CaptureTelemetry(true)
+	if err := run(options{*seed, *quick, *only, *ablations, *profiles, *busStudy, *slowScore, *mdPath, *svgDir}); err != nil {
 		fmt.Fprintln(os.Stderr, "repro:", err)
 		os.Exit(1)
 	}
@@ -88,6 +101,7 @@ type options struct {
 	ablations bool
 	profiles  bool
 	busStudy  bool
+	slowScore bool
 	mdPath    string
 	svgDir    string
 }
@@ -100,6 +114,7 @@ func run(o options) error {
 		cfg = experiments.Quick(seed)
 		scale = "quick scale"
 	}
+	cfg.SlowScore = o.slowScore
 	want := map[string]bool{}
 	for _, k := range strings.Split(only, ",") {
 		if k = strings.TrimSpace(k); k != "" {
@@ -350,7 +365,43 @@ func run(o options) error {
 	if mdPath != "" {
 		fmt.Printf("\nmarkdown report written to %s\n", mdPath)
 	}
+	timingFooter()
 	return nil
+}
+
+// timingFooter prints the runner's per-job telemetry to stdout only —
+// never the markdown report, which stays byte-identical for any -j.
+func timingFooter() {
+	jobs := runner.Telemetry()
+	if len(jobs) == 0 {
+		return
+	}
+	fmt.Printf("\n--- timing (%d jobs, workers=%d) ---\n", len(jobs), runner.Workers())
+	var wall time.Duration
+	var alloc uint64
+	for _, st := range jobs {
+		status := ""
+		if st.Err != nil {
+			status = "  ERR: " + st.Err.Error()
+		}
+		fmt.Printf("  %-40s %10v %10s%s\n",
+			st.Label, st.Wall.Round(time.Millisecond), fmtBytes(st.AllocBytes), status)
+		wall += st.Wall
+		alloc += st.AllocBytes
+	}
+	fmt.Printf("  %-40s %10v %10s\n", "total (sum over jobs)", wall.Round(time.Millisecond), fmtBytes(alloc))
+}
+
+func fmtBytes(b uint64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.1fGB", float64(b)/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1fMB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1fKB", float64(b)/(1<<10))
+	}
+	return fmt.Sprintf("%dB", b)
 }
 
 func runAblations(r *report, cfg experiments.Config) error {

@@ -26,6 +26,12 @@ type Options struct {
 	CheckEvery int
 	// Progress, when non-nil, receives a callback after each day.
 	Progress func(day int, score float64, util float64)
+	// SlowScore computes the daily layout score with the full
+	// O(files × blocks) rescan instead of the file system's
+	// incrementally maintained counters. The two are equal by
+	// construction (tests and Check() assert it); the rescan survives
+	// as a cross-check path behind cmd/repro's -slowscore flag.
+	SlowScore bool
 }
 
 // Result is the outcome of a replay.
@@ -63,12 +69,21 @@ func ReplayOn(fsys *ffs.FileSystem, wl *trace.Workload, opts Options) (*Result, 
 	if err != nil {
 		return nil, err
 	}
-	res := &Result{Fs: fsys}
+	res := &Result{
+		Fs:          fsys,
+		LayoutByDay: make(stats.Series, 0, wl.Days),
+		UtilByDay:   make(stats.Series, 0, wl.Days),
+	}
 
-	byID := make(map[int64]*ffs.File)
+	byID := make(map[int64]*ffs.File, 1024)
 	day := wl.Ops[0].Day
 	endDay := func() {
-		score := layout.FsAggregate(fsys)
+		// O(1) per day from the allocator's incremental counters; the
+		// SlowScore rescan is the equal-by-construction cross-check.
+		score := fsys.LayoutScore()
+		if opts.SlowScore {
+			score = layout.FsAggregate(fsys)
+		}
 		util := fsys.Utilization()
 		res.LayoutByDay = append(res.LayoutByDay, stats.TimePoint{Day: day, Value: score})
 		res.UtilByDay = append(res.UtilByDay, stats.TimePoint{Day: day, Value: util})
@@ -91,13 +106,12 @@ func ReplayOn(fsys *ffs.FileSystem, wl *trace.Workload, opts Options) (*Result, 
 			return nil, fmt.Errorf("aging: op cg %d outside [0,%d)", op.Cg, len(dirs))
 		}
 		dir := dirs[op.Cg]
-		name := strconv.FormatInt(op.ID, 10)
 		switch op.Kind {
 		case trace.OpCreate:
 			if byID[op.ID] != nil {
 				return nil, fmt.Errorf("aging: create of live id %d", op.ID)
 			}
-			f, err := fsys.CreateFile(dir, name, op.Size, op.Day)
+			f, err := fsys.CreateFile(dir, strconv.FormatInt(op.ID, 10), op.Size, op.Day)
 			if err != nil {
 				if errors.Is(err, ffs.ErrNoSpace) || errors.Is(err, ffs.ErrNoInodes) {
 					res.NoSpaceOps++
@@ -119,13 +133,18 @@ func ReplayOn(fsys *ffs.FileSystem, wl *trace.Workload, opts Options) (*Result, 
 			delete(byID, op.ID)
 		case trace.OpRewrite:
 			// The paper's modify heuristic: remove (or truncate to
-			// zero) and rewrite.
+			// zero) and rewrite. The dying file's name (the formatted
+			// ID) is reused rather than formatted again.
 			f := byID[op.ID]
+			name := ""
 			if f != nil {
+				name = f.Name
 				if err := fsys.Delete(f); err != nil {
 					return nil, fmt.Errorf("aging: rewrite-delete %d: %w", op.ID, err)
 				}
 				delete(byID, op.ID)
+			} else {
+				name = strconv.FormatInt(op.ID, 10)
 			}
 			f, err := fsys.CreateFile(dir, name, op.Size, op.Day)
 			if err != nil {

@@ -5,6 +5,7 @@ import (
 
 	"ffsage/internal/core"
 	"ffsage/internal/ffs"
+	"ffsage/internal/layout"
 	"ffsage/internal/trace"
 	"ffsage/internal/workload"
 )
@@ -192,5 +193,38 @@ func TestReplaySurvivesFullDisk(t *testing.T) {
 	}
 	if err := res.Fs.Check(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestIncrementalScoreEqualsRescan replays a workload under both
+// policies and asserts that the O(1) incremental layout score recorded
+// each day is bit-identical to the full O(files × blocks) rescan —
+// the equality the repro pipeline's -slowscore cross-check relies on.
+func TestIncrementalScoreEqualsRescan(t *testing.T) {
+	wl := testWorkload(7, 15)
+	for _, pol := range []ffs.Policy{core.Original{}, core.Realloc{}} {
+		fast, err := Replay(testParams(), pol, wl, Options{})
+		if err != nil {
+			t.Fatalf("%s fast: %v", pol.Name(), err)
+		}
+		slow, err := Replay(testParams(), pol, wl, Options{SlowScore: true})
+		if err != nil {
+			t.Fatalf("%s slow: %v", pol.Name(), err)
+		}
+		if len(fast.LayoutByDay) != len(slow.LayoutByDay) {
+			t.Fatalf("%s: series lengths %d vs %d", pol.Name(),
+				len(fast.LayoutByDay), len(slow.LayoutByDay))
+		}
+		for i := range fast.LayoutByDay {
+			f, s := fast.LayoutByDay[i], slow.LayoutByDay[i]
+			if f.Day != s.Day || f.Value != s.Value {
+				t.Fatalf("%s day %d: incremental %v, rescan %v",
+					pol.Name(), f.Day, f.Value, s.Value)
+			}
+		}
+		// The end-state counters agree with the rescan too.
+		if got, want := fast.Fs.LayoutScore(), layout.FsAggregate(fast.Fs); got != want {
+			t.Fatalf("%s: final LayoutScore %v, FsAggregate %v", pol.Name(), got, want)
+		}
 	}
 }

@@ -1,13 +1,13 @@
 package bench
 
 import (
+	"context"
 	"fmt"
-	"runtime"
-	"sync"
 
 	"ffsage/internal/disk"
 	"ffsage/internal/ffs"
 	"ffsage/internal/layout"
+	"ffsage/internal/runner"
 )
 
 // SeqResult is one point of the sequential I/O sweep (Figure 4) plus
@@ -95,31 +95,30 @@ func SequentialIO(image *ffs.FileSystem, p disk.Params, fileSize, totalBytes int
 // lists the sweep the paper's figures cover, including the off-power
 // points that expose the 96→104 KB indirect-block cliff and the 64 KB
 // transfer-limit effect. Size points are independent (each runs on its
-// own clone and its own disk), so they execute concurrently.
+// own clone and its own disk), so they execute concurrently on the
+// runner's configured worker count.
 func SequentialSweep(image *ffs.FileSystem, p disk.Params, sizes []int64, totalBytes int64, day int) ([]SeqResult, error) {
+	return SequentialSweepN(image, p, sizes, totalBytes, day, runner.Workers())
+}
+
+// SequentialSweepN is SequentialSweep with an explicit worker bound
+// (the speedup benchmarks compare workers=1 against the default).
+// Results are indexed by size regardless of completion order.
+func SequentialSweepN(image *ffs.FileSystem, p disk.Params, sizes []int64, totalBytes int64, day, workers int) ([]SeqResult, error) {
 	out := make([]SeqResult, len(sizes))
-	errs := make([]error, len(sizes))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	g := runner.NewWithWorkers(context.Background(), workers)
 	for i, size := range sizes {
-		wg.Add(1)
-		go func(i int, size int64) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
+		g.Go(fmt.Sprintf("seq %dK", size>>10), func(context.Context) error {
 			r, err := SequentialIO(image, p, size, totalBytes, day)
 			if err != nil {
-				errs[i] = fmt.Errorf("bench: size %d: %w", size, err)
-				return
+				return fmt.Errorf("bench: size %d: %w", size, err)
 			}
 			out[i] = r
-		}(i, size)
+			return nil
+		})
 	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+	if _, err := g.Wait(); err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -302,3 +302,109 @@ func TestQuickNextMatchesNaive(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// bitwiseFindRun is the pre-optimization bit-by-bit reference: NextSet
+// to a candidate, then one Test per bit of the run. The benchmarks
+// below compare it against the word-wise FindRun on the allocator's
+// worst case, a mostly-set map.
+func bitwiseFindRun(s *Set, lo, hi, length int) int {
+	i := lo
+	for {
+		i = s.NextSet(i)
+		if i < 0 || i+length > hi {
+			return -1
+		}
+		run := 1
+		for run < length && s.Test(i+run) {
+			run++
+		}
+		if run >= length {
+			return i
+		}
+		i += run
+	}
+}
+
+// denseMap returns an n-bit map with fill of its bits set: long runs of
+// set bits punctuated by single clear bits — the shape of a
+// cylinder-group free map on a mostly-free (or, inverted, mostly-full)
+// disk, where run searches must wade through all-ones words.
+func denseMap(n int, fill float64) *Set {
+	s := New(n)
+	s.SetRange(0, n)
+	gap := int(1 / (1 - fill))
+	for i := gap - 1; i < n; i += gap {
+		s.Clear(i)
+	}
+	return s
+}
+
+func TestRunLengthFromMatchesBitwise(t *testing.T) {
+	s := denseMap(1024, 0.9)
+	// Also exercise word boundaries explicitly.
+	s.ClearRange(300, 320)
+	s.SetRange(64, 192)
+	for i := 0; i < s.Len(); i++ {
+		want := 0
+		for j := i; j < s.Len() && s.Test(j); j++ {
+			want++
+		}
+		if !s.Test(i) {
+			continue
+		}
+		if got := s.RunLengthAt(i, 0); got != want {
+			t.Fatalf("RunLengthAt(%d) = %d, want %d", i, got, want)
+		}
+		if got := s.RunLengthAt(i, 5); got != min(want, 5) {
+			t.Fatalf("RunLengthAt(%d, max 5) = %d, want %d", i, got, min(want, 5))
+		}
+	}
+}
+
+func TestFindRunDenseMatchesBitwise(t *testing.T) {
+	s := denseMap(4096, 0.9)
+	for _, length := range []int{1, 2, 7, 9, 63, 64, 65, 200} {
+		for lo := 0; lo < 256; lo += 37 {
+			want := bitwiseFindRun(s, lo, s.Len(), length)
+			if got := s.FindRun(lo, s.Len(), length); got != want {
+				t.Fatalf("FindRun(%d, n, %d) = %d, want %d", lo, length, got, want)
+			}
+		}
+	}
+}
+
+// BenchmarkFindRunDense measures FindRun on a 90%-set map searching
+// for a run longer than any present (the worst case: the whole map is
+// scanned). The word-wise scan covers all-ones words 64 bits at a
+// time; BenchmarkFindRunDenseBitwise is the old per-bit reference.
+func BenchmarkFindRunDense(b *testing.B) {
+	s := denseMap(1<<20, 0.9)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if s.FindRun(0, s.Len(), 64) != -1 {
+			b.Fatal("unexpected run")
+		}
+	}
+	b.SetBytes(int64(s.Len() / 8))
+}
+
+func BenchmarkFindRunDenseBitwise(b *testing.B) {
+	s := denseMap(1<<20, 0.9)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if bitwiseFindRun(s, 0, s.Len(), 64) != -1 {
+			b.Fatal("unexpected run")
+		}
+	}
+	b.SetBytes(int64(s.Len() / 8))
+}
+
+// BenchmarkFindRunNearestDense exercises the preference search the
+// realloc policy's cluster allocator performs on a fragmented group.
+func BenchmarkFindRunNearestDense(b *testing.B) {
+	s := denseMap(1<<18, 0.9)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.FindRunNearest(0, s.Len(), 8, s.Len()/2)
+	}
+}

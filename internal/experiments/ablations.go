@@ -1,22 +1,26 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
-	"ffsage/internal/aging"
 	"ffsage/internal/bench"
 	"ffsage/internal/core"
 	"ffsage/internal/ffs"
 	"ffsage/internal/layout"
+	"ffsage/internal/runner"
 	"ffsage/internal/stats"
-	"ffsage/internal/workload"
 )
 
 // The ablation experiments probe the design decisions DESIGN.md calls
 // out: the cluster size limit (A1), the two-block quirk (A2), the
 // cluster-search fit discipline (A4), and the cross-group cluster
 // search (A5). Each returns paper-style metrics so the benches can
-// print comparable rows.
+// print comparable rows. Arms are independent, so each study fans them
+// out on the runner; the workload build and any arm whose (params,
+// policy) pair the Suite already aged — the maxcontig=7 point, the
+// chain-aware fit, the cross-group search and the quirk baseline are
+// all stock realloc aging — come straight from the cache.
 
 // AblationResult is one ablation configuration's outcome.
 type AblationResult struct {
@@ -33,12 +37,15 @@ type AblationResult struct {
 }
 
 // runAblation ages one file system variant and benches it at 96 KB.
+// Both the workload and the aged image are cached, so arms sharing a
+// configuration age once and bench on private clones.
 func runAblation(cfg Config, label string, fp ffs.Params, policy ffs.Policy) (AblationResult, error) {
-	b, err := workload.BuildWorkload(cfg.WorkloadCfg, cfg.NFSCfg)
+	b, err := CachedBuild(cfg.WorkloadCfg, cfg.NFSCfg)
 	if err != nil {
 		return AblationResult{}, err
 	}
-	res, err := aging.Replay(fp, policy, b.Reconstructed, aging.Options{})
+	wlKey := workloadKey(cfg.WorkloadCfg, cfg.NFSCfg) + "|reconstructed"
+	res, err := CachedAgedImage(fp, policy, b.Reconstructed, wlKey, cfg.agingOpts())
 	if err != nil {
 		return AblationResult{}, fmt.Errorf("%s: %w", label, err)
 	}
@@ -59,15 +66,23 @@ func runAblation(cfg Config, label string, fp ffs.Params, policy ffs.Policy) (Ab
 // paper fixes it at 7 blocks (56 KB, the disk's transfer size); this
 // measures what smaller and larger limits would have done.
 func AblationMaxContig(cfg Config, values []int) ([]AblationResult, error) {
-	var out []AblationResult
-	for _, mc := range values {
+	out := make([]AblationResult, len(values))
+	g := runner.New(context.Background())
+	for i, mc := range values {
 		fp := cfg.FsParams
 		fp.MaxContig = mc
-		r, err := runAblation(cfg, fmt.Sprintf("maxcontig=%d", mc), fp, core.Realloc{})
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, r)
+		label := fmt.Sprintf("maxcontig=%d", mc)
+		g.Go("A1 "+label, func(context.Context) error {
+			r, err := runAblation(cfg, label, fp, core.Realloc{})
+			if err != nil {
+				return err
+			}
+			out[i] = r
+			return nil
+		})
+	}
+	if _, err := g.Wait(); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -84,23 +99,32 @@ type QuirkResult struct {
 
 // AblationQuirk runs the quirk ablation.
 func AblationQuirk(cfg Config) ([]QuirkResult, error) {
-	b, err := workload.BuildWorkload(cfg.WorkloadCfg, cfg.NFSCfg)
+	b, err := CachedBuild(cfg.WorkloadCfg, cfg.NFSCfg)
 	if err != nil {
 		return nil, err
 	}
-	var out []QuirkResult
-	for _, pol := range []core.Realloc{{}, {ReallocSingleBlocks: true}} {
-		res, err := aging.Replay(cfg.FsParams, pol, b.Reconstructed, aging.Options{})
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", pol.Name(), err)
-		}
-		buckets := layout.BySize(layout.AllFiles(res.Fs), cfg.FsParams.FragsPerBlock(),
-			stats.PowerOfTwoBuckets(16<<10, 16<<20))
-		out = append(out, QuirkResult{
-			Label:         pol.Name(),
-			TwoBlockScore: buckets[0].Score,
-			FinalLayout:   res.LayoutByDay.Final(),
+	wlKey := workloadKey(cfg.WorkloadCfg, cfg.NFSCfg) + "|reconstructed"
+	pols := []core.Realloc{{}, {ReallocSingleBlocks: true}}
+	out := make([]QuirkResult, len(pols))
+	g := runner.New(context.Background())
+	for i, pol := range pols {
+		g.Go("A2 "+pol.Name(), func(context.Context) error {
+			res, err := CachedAgedImage(cfg.FsParams, pol, b.Reconstructed, wlKey, cfg.agingOpts())
+			if err != nil {
+				return fmt.Errorf("%s: %w", pol.Name(), err)
+			}
+			buckets := layout.BySize(layout.AllFiles(res.Fs), cfg.FsParams.FragsPerBlock(),
+				stats.PowerOfTwoBuckets(16<<10, 16<<20))
+			out[i] = QuirkResult{
+				Label:         pol.Name(),
+				TwoBlockScore: buckets[0].Score,
+				FinalLayout:   res.LayoutByDay.Final(),
+			}
+			return nil
 		})
+	}
+	if _, err := g.Wait(); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -108,19 +132,27 @@ func AblationQuirk(cfg Config) ([]QuirkResult, error) {
 // AblationClusterFit compares the default chain-aware cluster fit with
 // the literal 4.4BSD first-fit scan (A4).
 func AblationClusterFit(cfg Config) ([]AblationResult, error) {
-	var out []AblationResult
-	for _, firstFit := range []bool{false, true} {
+	fits := []bool{false, true}
+	out := make([]AblationResult, len(fits))
+	g := runner.New(context.Background())
+	for i, firstFit := range fits {
 		fp := cfg.FsParams
 		fp.FirstFitClusters = firstFit
 		label := "chain-aware fit"
 		if firstFit {
 			label = "first fit (4.4BSD literal)"
 		}
-		r, err := runAblation(cfg, label, fp, core.Realloc{})
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, r)
+		g.Go("A4 "+label, func(context.Context) error {
+			r, err := runAblation(cfg, label, fp, core.Realloc{})
+			if err != nil {
+				return err
+			}
+			out[i] = r
+			return nil
+		})
+	}
+	if _, err := g.Wait(); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -128,17 +160,25 @@ func AblationClusterFit(cfg Config) ([]AblationResult, error) {
 // AblationCrossCg compares the stock cross-group cluster search with a
 // variant restricted to the preferred group (A5).
 func AblationCrossCg(cfg Config) ([]AblationResult, error) {
-	var out []AblationResult
-	for _, inCg := range []bool{false, true} {
+	scopes := []bool{false, true}
+	out := make([]AblationResult, len(scopes))
+	g := runner.New(context.Background())
+	for i, inCg := range scopes {
 		label := "cross-group search"
 		if inCg {
 			label = "in-group only"
 		}
-		r, err := runAblation(cfg, label, cfg.FsParams, core.Realloc{InGroupOnly: inCg})
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, r)
+		g.Go("A5 "+label, func(context.Context) error {
+			r, err := runAblation(cfg, label, cfg.FsParams, core.Realloc{InGroupOnly: inCg})
+			if err != nil {
+				return err
+			}
+			out[i] = r
+			return nil
+		})
+	}
+	if _, err := g.Wait(); err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -1,10 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
+	"ffsage/internal/aging"
 	"ffsage/internal/bench"
 	"ffsage/internal/disk"
+	"ffsage/internal/runner"
 )
 
 // BusStudyResult reproduces the paper's §5.1 discussion: the same two
@@ -36,17 +39,32 @@ func BusStudy(s *Suite) ([]BusStudyResult, error) {
 		{"PCI / BusLogic 946C (paper)", s.Cfg.DiskParams},
 		{"SparcStation 1 ([Seltzer95])", disk.SparcStation1Params()},
 	}
-	var out []BusStudyResult
-	for _, c := range configs {
-		o, err := bench.HotFiles(s.AgedFFS.Fs, c.p, from)
-		if err != nil {
-			return nil, fmt.Errorf("bus study %s: %w", c.label, err)
+	// The four benchmark runs (two host paths × two images) are
+	// independent: each clones its image, so they fan out on the runner.
+	out := make([]BusStudyResult, len(configs))
+	g := runner.New(context.Background())
+	for i, c := range configs {
+		out[i].Label = c.label
+		for _, img := range []struct {
+			name string
+			fs   *aging.Result
+			dst  *float64
+		}{
+			{"ffs", s.AgedFFS, &out[i].ReadFFS},
+			{"realloc", s.AgedRealloc, &out[i].ReadRealloc},
+		} {
+			g.Go(fmt.Sprintf("bus %s %s", c.label, img.name), func(context.Context) error {
+				r, err := bench.HotFiles(img.fs.Fs, c.p, from)
+				if err != nil {
+					return fmt.Errorf("bus study %s: %w", c.label, err)
+				}
+				*img.dst = r.ReadBps
+				return nil
+			})
 		}
-		r, err := bench.HotFiles(s.AgedRealloc.Fs, c.p, from)
-		if err != nil {
-			return nil, fmt.Errorf("bus study %s: %w", c.label, err)
-		}
-		out = append(out, BusStudyResult{Label: c.label, ReadFFS: o.ReadBps, ReadRealloc: r.ReadBps})
+	}
+	if _, err := g.Wait(); err != nil {
+		return nil, err
 	}
 	return out, nil
 }

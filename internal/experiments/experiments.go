@@ -6,8 +6,8 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
-	"sync"
 
 	"ffsage/internal/aging"
 	"ffsage/internal/bench"
@@ -15,6 +15,7 @@ import (
 	"ffsage/internal/disk"
 	"ffsage/internal/ffs"
 	"ffsage/internal/layout"
+	"ffsage/internal/runner"
 	"ffsage/internal/stats"
 	"ffsage/internal/trace"
 	"ffsage/internal/workload"
@@ -35,6 +36,16 @@ type Config struct {
 	BenchSizes []int64
 	// HotWindow is the hot-set recency window in days (one month).
 	HotWindow int
+	// SlowScore switches every aging replay's daily layout score to
+	// the full O(files × blocks) rescan instead of the allocator's
+	// incremental counters — the cross-check path behind cmd/repro's
+	// -slowscore flag. The two are equal by construction.
+	SlowScore bool
+}
+
+// agingOpts returns the replay options this configuration implies.
+func (c Config) agingOpts() aging.Options {
+	return aging.Options{SlowScore: c.SlowScore}
 }
 
 // Full returns the paper-scale configuration.
@@ -100,43 +111,42 @@ type Suite struct {
 
 // NewSuite generates the workload and ages the three file systems.
 // The replays are independent simulations on separate file systems, so
-// they run concurrently.
+// they run concurrently on the shared runner; both the workload build
+// and the aged images come from the process-wide cache, so a second
+// Suite (or an ablation arm with identical inputs) reuses them and
+// only pays for an ffs.Clone.
 func NewSuite(cfg Config) (*Suite, error) {
-	b, err := workload.BuildWorkload(cfg.WorkloadCfg, cfg.NFSCfg)
+	b, err := CachedBuild(cfg.WorkloadCfg, cfg.NFSCfg)
 	if err != nil {
 		return nil, err
 	}
 	s := &Suite{Cfg: cfg, Build: b}
+	wlKey := workloadKey(cfg.WorkloadCfg, cfg.NFSCfg)
 	runs := []struct {
 		name   string
 		policy ffs.Policy
 		wl     *trace.Workload
+		key    string
 		dst    **aging.Result
 	}{
-		{"aging under ffs", core.Original{}, b.Reconstructed, &s.AgedFFS},
-		{"aging under realloc", core.Realloc{}, b.Reconstructed, &s.AgedRealloc},
-		{"aging ground truth", core.Original{}, b.Reference.GroundTruth, &s.RealFFS},
+		{"age ffs", core.Original{}, b.Reconstructed, wlKey + "|reconstructed", &s.AgedFFS},
+		{"age realloc", core.Realloc{}, b.Reconstructed, wlKey + "|reconstructed", &s.AgedRealloc},
+		{"age ground-truth", core.Original{}, b.Reference.GroundTruth, wlKey + "|ground-truth", &s.RealFFS},
 	}
-	errs := make([]error, len(runs))
-	var wg sync.WaitGroup
+	g := runner.New(context.Background())
 	for i := range runs {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			r := runs[i]
-			res, err := aging.Replay(cfg.FsParams, r.policy, r.wl, aging.Options{})
+		r := runs[i]
+		g.Go(r.name, func(context.Context) error {
+			res, err := CachedAgedImage(cfg.FsParams, r.policy, r.wl, r.key, cfg.agingOpts())
 			if err != nil {
-				errs[i] = fmt.Errorf("%s: %w", r.name, err)
-				return
+				return fmt.Errorf("%s: %w", r.name, err)
 			}
 			*r.dst = res
-		}(i)
+			return nil
+		})
 	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+	if _, err := g.Wait(); err != nil {
+		return nil, err
 	}
 	return s, nil
 }

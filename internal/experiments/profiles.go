@@ -1,12 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
-	"ffsage/internal/aging"
 	"ffsage/internal/bench"
 	"ffsage/internal/core"
 	"ffsage/internal/ffs"
+	"ffsage/internal/runner"
 	"ffsage/internal/workload"
 )
 
@@ -29,7 +30,8 @@ type ProfileResult struct {
 
 // RunProfile ages both policies under the given usage pattern at the
 // scale implied by cfg (days, fs size, groups are taken from cfg; the
-// activity shape from the profile).
+// activity shape from the profile). The two policies age concurrently
+// on the runner, on cached images when available.
 func RunProfile(cfg Config, p workload.Profile) (ProfileResult, error) {
 	if !workload.KnownProfile(p) {
 		return ProfileResult{}, fmt.Errorf("experiments: unknown profile %q", p)
@@ -43,7 +45,7 @@ func RunProfile(cfg Config, p workload.Profile) (ProfileResult, error) {
 	scale := float64(cfg.WorkloadCfg.FsBytes) / float64(502<<20)
 	wc.ChurnBytesPerDay *= scale
 	wc.ShortPairsPerDay *= scale
-	b, err := workload.BuildWorkload(wc, cfg.NFSCfg)
+	b, err := CachedBuild(wc, cfg.NFSCfg)
 	if err != nil {
 		return ProfileResult{}, fmt.Errorf("profile %s: %w", p, err)
 	}
@@ -54,36 +56,52 @@ func RunProfile(cfg Config, p workload.Profile) (ProfileResult, error) {
 	res.EndFiles = b.Reference.EndLiveFiles
 
 	from := wc.Days - cfg.HotWindow
+	wlKey := workloadKey(wc, cfg.NFSCfg) + "|reconstructed"
+	g := runner.New(context.Background())
 	for _, pol := range []ffs.Policy{core.Original{}, core.Realloc{}} {
-		aged, err := aging.Replay(cfg.FsParams, pol, b.Reconstructed, aging.Options{})
-		if err != nil {
-			return ProfileResult{}, fmt.Errorf("profile %s under %s: %w", p, pol.Name(), err)
-		}
-		hot, err := bench.HotFiles(aged.Fs, cfg.DiskParams, from)
-		if err != nil {
-			return ProfileResult{}, fmt.Errorf("profile %s hot bench: %w", p, err)
-		}
-		switch pol.(type) {
-		case core.Original:
-			res.LayoutFFS = aged.LayoutByDay.Final()
-			res.HotReadFFS = hot.ReadBps
-		default:
-			res.LayoutRealloc = aged.LayoutByDay.Final()
-			res.HotReadRealloc = hot.ReadBps
-		}
+		g.Go(fmt.Sprintf("profile %s %s", p, pol.Name()), func(context.Context) error {
+			aged, err := CachedAgedImage(cfg.FsParams, pol, b.Reconstructed, wlKey, cfg.agingOpts())
+			if err != nil {
+				return fmt.Errorf("profile %s under %s: %w", p, pol.Name(), err)
+			}
+			hot, err := bench.HotFiles(aged.Fs, cfg.DiskParams, from)
+			if err != nil {
+				return fmt.Errorf("profile %s hot bench: %w", p, err)
+			}
+			switch pol.(type) {
+			case core.Original:
+				res.LayoutFFS = aged.LayoutByDay.Final()
+				res.HotReadFFS = hot.ReadBps
+			default:
+				res.LayoutRealloc = aged.LayoutByDay.Final()
+				res.HotReadRealloc = hot.ReadBps
+			}
+			return nil
+		})
+	}
+	if _, err := g.Wait(); err != nil {
+		return ProfileResult{}, err
 	}
 	return res, nil
 }
 
-// RunProfiles runs every supported profile.
+// RunProfiles runs every supported profile, concurrently.
 func RunProfiles(cfg Config) ([]ProfileResult, error) {
-	var out []ProfileResult
-	for _, p := range workload.Profiles() {
-		r, err := RunProfile(cfg, p)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, r)
+	profiles := workload.Profiles()
+	out := make([]ProfileResult, len(profiles))
+	g := runner.New(context.Background())
+	for i, p := range profiles {
+		g.Go(fmt.Sprintf("profile %s", p), func(context.Context) error {
+			r, err := RunProfile(cfg, p)
+			if err != nil {
+				return err
+			}
+			out[i] = r
+			return nil
+		})
+	}
+	if _, err := g.Wait(); err != nil {
+		return nil, err
 	}
 	return out, nil
 }

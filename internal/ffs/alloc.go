@@ -198,6 +198,7 @@ func (fs *FileSystem) TryReallocRun(f *File, start, end, cgIdx int, pref Daddr) 
 		f.Blocks[i] = newAddr + Daddr((i-start)*fs.fpb)
 	}
 	fs.Stats.ClusterMoves++
+	fs.relayout(f)
 	return true
 }
 

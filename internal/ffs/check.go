@@ -32,7 +32,37 @@ func (fs *FileSystem) Check() error {
 	if err := fs.checkFiles(); err != nil {
 		return err
 	}
+	if err := fs.checkLayoutCounts(); err != nil {
+		return err
+	}
 	return fs.checkInodesAndDirs()
+}
+
+// checkLayoutCounts verifies the incremental layout-score counters —
+// both the per-file caches and the file-system totals — against a full
+// rescan of every plain file's block map.
+func (fs *FileSystem) checkLayoutCounts() error {
+	var opt, total int64
+	for ino, f := range fs.files {
+		if f.IsDir {
+			if f.scoreOpt != 0 || f.scoreTotal != 0 {
+				return fmt.Errorf("dir ino %d carries layout cache %d/%d", ino, f.scoreOpt, f.scoreTotal)
+			}
+			continue
+		}
+		o, t := fileLayoutCounts(f, fs.fpb)
+		if o != f.scoreOpt || t != f.scoreTotal {
+			return fmt.Errorf("ino %d: layout cache %d/%d, rescan %d/%d",
+				ino, f.scoreOpt, f.scoreTotal, o, t)
+		}
+		opt += int64(o)
+		total += int64(t)
+	}
+	if opt != fs.layoutOpt || total != fs.layoutTotal {
+		return fmt.Errorf("layout counters %d/%d, rescan %d/%d",
+			fs.layoutOpt, fs.layoutTotal, opt, total)
+	}
+	return nil
 }
 
 func (fs *FileSystem) checkGroups() error {

@@ -6,12 +6,14 @@ package ffs
 // its benchmarks on freshly restored aged file systems.
 func (fs *FileSystem) Clone() *FileSystem {
 	c := &FileSystem{
-		P:      fs.P,
-		fpb:    fs.fpb,
-		ipg:    fs.ipg,
-		files:  make(map[int]*File, len(fs.files)),
-		policy: fs.policy,
-		Stats:  fs.Stats,
+		P:           fs.P,
+		fpb:         fs.fpb,
+		ipg:         fs.ipg,
+		files:       make(map[int]*File, len(fs.files)),
+		policy:      fs.policy,
+		Stats:       fs.Stats,
+		layoutOpt:   fs.layoutOpt,
+		layoutTotal: fs.layoutTotal,
 	}
 	c.IgnoreReserve = fs.IgnoreReserve
 	for _, g := range fs.cgs {
@@ -44,9 +46,11 @@ func (fs *FileSystem) Clone() *FileSystem {
 			Blocks:    append([]Daddr(nil), f.Blocks...),
 			TailFrags: f.TailFrags,
 			Indirects: append([]Indirect(nil), f.Indirects...),
-			CreateDay: f.CreateDay,
-			ModDay:    f.ModDay,
-			sectionCg: f.sectionCg,
+			CreateDay:  f.CreateDay,
+			ModDay:     f.ModDay,
+			sectionCg:  f.sectionCg,
+			scoreOpt:   f.scoreOpt,
+			scoreTotal: f.scoreTotal,
 		}
 		if f.IsDir {
 			nf.Entries = make(map[string]*File, len(f.Entries))

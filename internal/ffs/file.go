@@ -31,6 +31,11 @@ type File struct {
 	// draws from: the inode's group at first, changing at every
 	// section boundary.
 	sectionCg int
+
+	// scoreOpt and scoreTotal cache this file's contribution to the
+	// file system's incremental layout counters; see layoutacct.go.
+	scoreOpt   int
+	scoreTotal int
 }
 
 // Indirect is one allocated indirect block.
@@ -94,6 +99,7 @@ func (fs *FileSystem) Append(f *File, n int64, day int) error {
 		flush(len(f.Blocks))
 		f.Size += appended
 		fs.Stats.BytesWritten += appended
+		fs.relayout(f)
 		return err
 	}
 
@@ -184,6 +190,7 @@ func (fs *FileSystem) Append(f *File, n int64, day int) error {
 	flush(len(f.Blocks))
 	f.Size += appended
 	fs.Stats.BytesWritten += appended
+	fs.relayout(f)
 	return nil
 }
 
@@ -313,6 +320,7 @@ func (fs *FileSystem) Delete(f *File) error {
 }
 
 func (fs *FileSystem) removeFile(f *File) {
+	fs.dropLayout(f)
 	fs.freeFileBlocks(f, 0)
 	if f.Parent != nil {
 		delete(f.Parent.Entries, f.Name)
@@ -385,6 +393,7 @@ func (fs *FileSystem) Truncate(f *File, newSize int64, day int) error {
 		f.sectionCg = fs.InoToCg(f.Ino)
 	}
 	f.Size = newSize
+	fs.relayout(f)
 	return nil
 }
 

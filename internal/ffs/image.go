@@ -116,6 +116,7 @@ func LoadImage(r io.Reader, policy Policy) (*FileSystem, error) {
 			c.mutateFrags(c.relFrag(ind.Addr), c.relFrag(ind.Addr)+fs.fpb, true)
 		}
 		fs.files[f.Ino] = f
+		fs.relayout(f)
 	}
 	// Second pass: tree linkage.
 	for _, inf := range img.Files {

@@ -37,6 +37,12 @@ type FileSystem struct {
 
 	// Stats counts allocator events for the ablation reports.
 	Stats AllocStats
+
+	// layoutOpt and layoutTotal are the incrementally maintained
+	// aggregate layout-score numerator and denominator over all plain
+	// files; see layoutacct.go.
+	layoutOpt   int64
+	layoutTotal int64
 }
 
 // AllocStats counts allocator activity.

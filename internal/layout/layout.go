@@ -59,7 +59,7 @@ func Aggregate(files []*ffs.File, fpb int) float64 {
 // AllFiles returns the file system's plain files (directories
 // excluded), in inode order for determinism.
 func AllFiles(fsys *ffs.FileSystem) []*ffs.File {
-	var out []*ffs.File
+	out := make([]*ffs.File, 0, len(fsys.Files()))
 	for _, f := range fsys.Files() {
 		if !f.IsDir {
 			out = append(out, f)
@@ -70,9 +70,34 @@ func AllFiles(fsys *ffs.FileSystem) []*ffs.File {
 }
 
 // FsAggregate returns the aggregate layout score of every plain file on
-// the file system — the number the paper plots in Figures 1 and 2.
+// the file system — the number the paper plots in Figures 1 and 2 — by
+// full rescan. The counts are exact integers, so no file ordering (and
+// hence no sort) is needed; the file system's incrementally maintained
+// LayoutScore returns the identical value in O(1), which is what the
+// aging replayer uses per day. This rescan remains the independent
+// cross-check (cmd/repro -slowscore, and Check()).
 func FsAggregate(fsys *ffs.FileSystem) float64 {
-	return Aggregate(AllFiles(fsys), fsys.FragsPerBlock())
+	fpb := fsys.FragsPerBlock()
+	optimal, total := 0, 0
+	for _, f := range fsys.Files() {
+		if f.IsDir {
+			continue
+		}
+		n := len(f.Blocks)
+		if n < 2 {
+			continue
+		}
+		total += n - 1
+		for i := 1; i < n; i++ {
+			if f.Blocks[i] == f.Blocks[i-1]+ffs.Daddr(fpb) {
+				optimal++
+			}
+		}
+	}
+	if total == 0 {
+		return 1.0
+	}
+	return float64(optimal) / float64(total)
 }
 
 // BySize distributes files into the given size buckets and computes the
@@ -113,7 +138,7 @@ func BySize(files []*ffs.File, fpb int, buckets []stats.SizeBucket) []stats.Size
 // sorted by directory then inode so that reads visit one cylinder
 // group's files together, as the paper's benchmark did.
 func HotFiles(fsys *ffs.FileSystem, fromDay int) []*ffs.File {
-	var out []*ffs.File
+	out := make([]*ffs.File, 0, len(fsys.Files())/4)
 	for _, f := range fsys.Files() {
 		if !f.IsDir && f.ModDay >= fromDay {
 			out = append(out, f)

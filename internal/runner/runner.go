@@ -1,0 +1,206 @@
+// Package runner schedules the experiment harness's independent jobs —
+// policy pairs, ablation arms, sequential-sweep size points — across a
+// bounded worker pool. Every simulation in this repository is a pure
+// function of its inputs, so arms may execute in any order and on any
+// number of workers without changing a single reported number; the
+// Group guarantees it by collecting results in submission order and
+// surfacing the lowest-submitted error, independent of completion
+// order. cmd/repro's -j flag sets the process-wide worker bound.
+//
+// Each job records wall-clock telemetry (and an approximate allocation
+// figure); when capture is enabled (repro does so at startup) finished
+// groups append their stats to a process-wide log that the timing
+// footer prints.
+package runner
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// workers is the process-wide worker bound; 0 means GOMAXPROCS.
+var workers atomic.Int64
+
+// SetWorkers sets the process-wide worker bound for subsequently
+// created Groups (cmd/repro's -j). n <= 0 restores the default.
+func SetWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	workers.Store(int64(n))
+}
+
+// Workers returns the current worker bound.
+func Workers() int {
+	if n := int(workers.Load()); n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Stat is one finished job's telemetry.
+type Stat struct {
+	Label string
+	Wall  time.Duration
+	// AllocBytes is the process-wide heap allocation delta observed
+	// while the job ran. With concurrent jobs it includes their
+	// allocations too, so read it as an upper bound.
+	AllocBytes uint64
+	Err        error
+}
+
+var (
+	telMu  sync.Mutex
+	telOn  bool
+	telLog []Stat
+)
+
+// CaptureTelemetry enables (or disables) the process-wide telemetry
+// log and clears it. While disabled — the default — Wait discards
+// job stats after returning them, so long-running test processes do
+// not accumulate history.
+func CaptureTelemetry(on bool) {
+	telMu.Lock()
+	defer telMu.Unlock()
+	telOn = on
+	telLog = nil
+}
+
+// Telemetry returns a copy of the captured job stats, in the order the
+// groups finished and, within a group, in submission order.
+func Telemetry() []Stat {
+	telMu.Lock()
+	defer telMu.Unlock()
+	return append([]Stat(nil), telLog...)
+}
+
+// Group runs jobs on a bounded worker pool. Submit with Go, then call
+// Wait exactly once. The zero value is unusable; construct with New.
+//
+// Nested groups (a job that itself creates a Group) each get their own
+// worker bound rather than sharing one global pool: a shared pool
+// would deadlock when every outer job held a slot while waiting for
+// inner jobs, so the harness accepts bounded oversubscription instead.
+type Group struct {
+	ctx     context.Context
+	cancel  context.CancelFunc
+	sem     chan struct{}
+	wg      sync.WaitGroup
+	mu      sync.Mutex
+	stats   []Stat
+	nextIdx int
+}
+
+// New returns a Group bounded by the process-wide worker count whose
+// jobs observe ctx (nil means Background). The first job error cancels
+// the group's context, so queued jobs that honour it are skipped.
+func New(ctx context.Context) *Group { return NewWithWorkers(ctx, Workers()) }
+
+// NewWithWorkers returns a Group with an explicit worker bound
+// (n <= 0 means the process-wide count).
+func NewWithWorkers(ctx context.Context, n int) *Group {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if n <= 0 {
+		n = Workers()
+	}
+	gctx, cancel := context.WithCancel(ctx)
+	return &Group{ctx: gctx, cancel: cancel, sem: make(chan struct{}, n)}
+}
+
+// Go submits one job. fn runs on some worker once a slot frees up; if
+// the group was cancelled first (an earlier job failed), fn is skipped
+// and the job records the cancellation error. Results belong in
+// caller-owned slots captured by the closure — the Group only carries
+// errors and telemetry — which is what makes result ordering
+// independent of completion order.
+func (g *Group) Go(label string, fn func(context.Context) error) {
+	g.mu.Lock()
+	idx := g.nextIdx
+	g.nextIdx++
+	g.stats = append(g.stats, Stat{Label: label})
+	g.mu.Unlock()
+
+	g.wg.Add(1)
+	go func() {
+		defer g.wg.Done()
+		g.sem <- struct{}{}
+		defer func() { <-g.sem }()
+
+		var st Stat
+		st.Label = label
+		if err := g.ctx.Err(); err != nil {
+			st.Err = err
+		} else {
+			var m0 runtime.MemStats
+			runtime.ReadMemStats(&m0)
+			start := time.Now()
+			st.Err = fn(g.ctx)
+			st.Wall = time.Since(start)
+			var m1 runtime.MemStats
+			runtime.ReadMemStats(&m1)
+			st.AllocBytes = m1.TotalAlloc - m0.TotalAlloc
+		}
+		g.mu.Lock()
+		g.stats[idx] = st
+		g.mu.Unlock()
+		if st.Err != nil {
+			g.cancel()
+		}
+	}()
+}
+
+// Wait blocks until every submitted job finished (or was skipped),
+// then returns the per-job stats in submission order and the error of
+// the lowest-submitted failed job — a deterministic choice no matter
+// which job failed first on the clock. Skipped-job cancellation errors
+// are only reported when no real error exists.
+func (g *Group) Wait() ([]Stat, error) {
+	g.wg.Wait()
+	g.cancel()
+	var firstErr error
+	var firstCancel error
+	for _, st := range g.stats {
+		if st.Err == nil {
+			continue
+		}
+		if st.Err == context.Canceled && st.Wall == 0 {
+			if firstCancel == nil {
+				firstCancel = st.Err
+			}
+			continue
+		}
+		firstErr = st.Err
+		break
+	}
+	if firstErr == nil {
+		firstErr = firstCancel
+	}
+	telMu.Lock()
+	if telOn {
+		telLog = append(telLog, g.stats...)
+	}
+	telMu.Unlock()
+	return g.stats, firstErr
+}
+
+// Run is the common fan-out: invoke fn(i) for i in [0, n) on the pool
+// and return the first error (by submission order). label names job i
+// for telemetry; nil labels jobs "job".
+func Run(ctx context.Context, n int, label func(i int) string, fn func(ctx context.Context, i int) error) error {
+	g := New(ctx)
+	for i := 0; i < n; i++ {
+		name := "job"
+		if label != nil {
+			name = label(i)
+		}
+		i := i
+		g.Go(name, func(ctx context.Context) error { return fn(ctx, i) })
+	}
+	_, err := g.Wait()
+	return err
+}

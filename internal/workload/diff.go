@@ -80,14 +80,23 @@ func Diff(snaps []trace.Snapshot, numCg, ipg int, rng *rand.Rand) (*trace.Worklo
 				})
 			}
 		}
+		// Collect the interval's deletions in sorted inode order before
+		// drawing their times: iterating the map directly would pair
+		// inodes with rng draws in map order, making the reconstructed
+		// stream differ from run to run.
+		var dead []int64
 		for ino := range prev {
 			if _, still := cur[ino]; !still {
-				sec := loSec + rng.Float64()*(hiSec-loSec)
-				ops = append(ops, trace.Op{
-					Day: snap.Day, Sec: sec, Kind: trace.OpDelete,
-					ID: ino, Cg: inoCg(ino),
-				})
+				dead = append(dead, ino)
 			}
+		}
+		sort.Slice(dead, func(i, j int) bool { return dead[i] < dead[j] })
+		for _, ino := range dead {
+			sec := loSec + rng.Float64()*(hiSec-loSec)
+			ops = append(ops, trace.Op{
+				Day: snap.Day, Sec: sec, Kind: trace.OpDelete,
+				ID: ino, Cg: inoCg(ino),
+			})
 		}
 		prev = cur
 	}
