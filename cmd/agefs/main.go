@@ -5,13 +5,16 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"strings"
 
 	"ffsage/internal/aging"
 	"ffsage/internal/core"
+	"ffsage/internal/faults"
 	"ffsage/internal/ffs"
 	"ffsage/internal/trace"
 )
@@ -23,10 +26,19 @@ func main() {
 		imageOut = flag.String("image", "", "save the aged image here")
 		csvOut   = flag.String("csv", "", "write day,layout,utilization CSV here")
 		check    = flag.Int("check", 0, "run the consistency checker every N days (0 = off)")
+		faultStr = flag.String("faults", "", "fault plan to inject, e.g. tear@op:5000 (see internal/faults)")
 		quiet    = flag.Bool("q", false, "suppress per-day progress")
 	)
 	flag.Parse()
-	if err := run(*wlPath, *policy, *imageOut, *csvOut, *check, *quiet); err != nil {
+	err := run(*wlPath, *policy, *imageOut, *csvOut, *check, *faultStr, *quiet)
+	var crash *faults.Crash
+	if errors.As(err, &crash) {
+		// The interrupted (possibly corrupt) image was still saved, for
+		// fsck -repair; signal the crash distinctly.
+		fmt.Fprintln(os.Stderr, "agefs:", err)
+		os.Exit(3)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "agefs:", err)
 		os.Exit(1)
 	}
@@ -43,7 +55,7 @@ func pickPolicy(name string) (ffs.Policy, error) {
 	}
 }
 
-func run(wlPath, policyName, imageOut, csvOut string, check int, quiet bool) error {
+func run(wlPath, policyName, imageOut, csvOut string, check int, faultStr string, quiet bool) error {
 	f, err := os.Open(wlPath)
 	if err != nil {
 		return err
@@ -67,6 +79,13 @@ func run(wlPath, policyName, imageOut, csvOut string, check int, quiet bool) err
 		return err
 	}
 	opts := aging.Options{CheckEvery: check}
+	if faultStr != "" {
+		plan, perr := faults.Parse(faultStr)
+		if perr != nil {
+			return perr
+		}
+		opts.Faults = plan
+	}
 	if !quiet {
 		opts.Progress = func(day int, score, util float64) {
 			fmt.Printf("day %3d: layout %.3f  utilization %.2f\n", day+1, score, util)
@@ -74,11 +93,24 @@ func run(wlPath, policyName, imageOut, csvOut string, check int, quiet bool) err
 	}
 	res, err := aging.Replay(ffs.PaperParams(), policy, wl, opts)
 	if err != nil {
+		var crash *faults.Crash
+		if !errors.As(err, &crash) || res == nil {
+			return err
+		}
+		// Planned crash: save the interrupted image as-is (fsck's job),
+		// then report the crash through the exit status.
+		if imageOut != "" {
+			if serr := saveImage(res.Fs, imageOut); serr != nil {
+				return serr
+			}
+		}
 		return err
 	}
+	// FinalOr: a zero-day workload records no series points.
 	fmt.Printf("aged %d days under %s: final layout %.3f, utilization %.2f, %d files"+
 		" (%d ops skipped, %d for space)\n",
-		wl.Days, policy.Name(), res.LayoutByDay.Final(), res.UtilByDay.Final(),
+		wl.Days, policy.Name(),
+		res.LayoutByDay.FinalOr(math.NaN()), res.UtilByDay.FinalOr(math.NaN()),
 		res.Fs.FileCount(), res.SkippedOps, res.NoSpaceOps)
 
 	if csvOut != "" {
@@ -97,18 +129,25 @@ func run(wlPath, policyName, imageOut, csvOut string, check int, quiet bool) err
 		fmt.Printf("wrote %s\n", csvOut)
 	}
 	if imageOut != "" {
-		out, err := os.Create(imageOut)
-		if err != nil {
+		if err := saveImage(res.Fs, imageOut); err != nil {
 			return err
 		}
-		if err := res.Fs.SaveImage(out); err != nil {
-			out.Close()
-			return err
-		}
-		if err := out.Close(); err != nil {
-			return err
-		}
-		fmt.Printf("wrote %s\n", imageOut)
 	}
+	return nil
+}
+
+func saveImage(fsys *ffs.FileSystem, path string) error {
+	out, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fsys.SaveImage(out); err != nil {
+		out.Close()
+		return err
+	}
+	if err := out.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
 	return nil
 }

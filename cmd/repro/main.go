@@ -7,6 +7,7 @@
 //
 //	repro [-seed N] [-quick] [-only fig2,table2] [-ablations]
 //	      [-busstudy] [-profiles] [-j N] [-slowscore]
+//	      [-faults spec] [-checkpoint-every K] [-checkpoint-dir dir] [-resume]
 //	      [-md out.md] [-svg dir]
 //
 // The full run ages three 502 MB file systems through a ten-month
@@ -19,19 +20,24 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 	"time"
 
 	"ffsage/internal/bench"
 	"ffsage/internal/experiments"
+	"ffsage/internal/faults"
 	"ffsage/internal/ffs"
 	"ffsage/internal/runner"
 	"ffsage/internal/stats"
+	"ffsage/internal/trace"
 )
 
 func main() {
@@ -44,6 +50,10 @@ func main() {
 		busStudy  = flag.Bool("busstudy", false, "also run the §5.1 bus-bandwidth study")
 		jobs      = flag.Int("j", 0, "max concurrent jobs (0 = GOMAXPROCS)")
 		slowScore = flag.Bool("slowscore", false, "compute daily layout scores by full rescan (cross-check of the incremental counters)")
+		faultSpec = flag.String("faults", "", "fault plan for the aging replays, e.g. crash@day:30 or ioerr@alloc:5000 (see internal/faults)")
+		ckptEvery = flag.Int("checkpoint-every", 0, "checkpoint the aging replays every K simulated days (needs -checkpoint-dir)")
+		ckptDir   = flag.String("checkpoint-dir", "", "directory holding aging checkpoints")
+		resume    = flag.Bool("resume", false, "resume the aging replays from the checkpoints in -checkpoint-dir")
 		mdPath    = flag.String("md", "", "also write a markdown report to this path")
 		svgDir    = flag.String("svg", "", "also render the six figures as SVG into this directory")
 	)
@@ -52,7 +62,17 @@ func main() {
 		runner.SetWorkers(*jobs)
 	}
 	runner.CaptureTelemetry(true)
-	if err := run(options{*seed, *quick, *only, *ablations, *profiles, *busStudy, *slowScore, *mdPath, *svgDir}); err != nil {
+	err := run(options{*seed, *quick, *only, *ablations, *profiles, *busStudy, *slowScore,
+		*faultSpec, *ckptEvery, *ckptDir, *resume, *mdPath, *svgDir})
+	var crash *faults.Crash
+	if errors.As(err, &crash) {
+		fmt.Fprintf(os.Stderr, "repro: aging stopped at planned %v\n", crash)
+		if *ckptDir != "" {
+			fmt.Fprintf(os.Stderr, "repro: resume with: repro -resume -checkpoint-dir %s (plus the original flags, minus -faults)\n", *ckptDir)
+		}
+		os.Exit(3)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "repro:", err)
 		os.Exit(1)
 	}
@@ -102,8 +122,77 @@ type options struct {
 	profiles  bool
 	busStudy  bool
 	slowScore bool
+	faults    string
+	ckptEvery int
+	ckptDir   string
+	resume    bool
 	mdPath    string
 	svgDir    string
+}
+
+// recoveryConfig translates the -faults/-checkpoint flags into the
+// experiment suite's Recovery wiring: one checkpoint file per aging
+// arm in ckptDir, written atomically (temp file + rename) so a crash
+// mid-checkpoint leaves the previous one intact.
+func recoveryConfig(o options) (*experiments.Recovery, error) {
+	if o.faults == "" && o.ckptEvery == 0 && !o.resume {
+		return nil, nil
+	}
+	rec := &experiments.Recovery{CheckpointEvery: o.ckptEvery}
+	if o.faults != "" {
+		plan, err := faults.Parse(o.faults)
+		if err != nil {
+			return nil, err
+		}
+		rec.Faults = plan
+	}
+	if o.ckptEvery > 0 || o.resume {
+		if o.ckptDir == "" {
+			return nil, fmt.Errorf("-checkpoint-every/-resume need -checkpoint-dir")
+		}
+		if err := os.MkdirAll(o.ckptDir, 0o777); err != nil {
+			return nil, err
+		}
+	}
+	ckptPath := func(arm string) string { return filepath.Join(o.ckptDir, arm+".ckpt") }
+	if o.ckptEvery > 0 {
+		rec.Sink = func(arm string) func(*trace.Checkpoint) error {
+			return func(cp *trace.Checkpoint) error {
+				tmp, err := os.CreateTemp(o.ckptDir, arm+".tmp*")
+				if err != nil {
+					return err
+				}
+				if err := trace.WriteCheckpoint(tmp, cp); err != nil {
+					tmp.Close()
+					os.Remove(tmp.Name())
+					return err
+				}
+				if err := tmp.Close(); err != nil {
+					os.Remove(tmp.Name())
+					return err
+				}
+				return os.Rename(tmp.Name(), ckptPath(arm))
+			}
+		}
+	}
+	if o.resume {
+		rec.Resume = func(arm string) (*trace.Checkpoint, error) {
+			f, err := os.Open(ckptPath(arm))
+			if os.IsNotExist(err) {
+				return nil, nil // no checkpoint yet: start fresh
+			}
+			if err != nil {
+				return nil, err
+			}
+			defer f.Close()
+			cp, err := trace.ReadCheckpoint(f)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", ckptPath(arm), err)
+			}
+			return cp, nil
+		}
+	}
+	return rec, nil
 }
 
 func run(o options) error {
@@ -115,6 +204,11 @@ func run(o options) error {
 		scale = "quick scale"
 	}
 	cfg.SlowScore = o.slowScore
+	rec, err := recoveryConfig(o)
+	if err != nil {
+		return err
+	}
+	cfg.Recovery = rec
 	want := map[string]bool{}
 	for _, k := range strings.Split(only, ",") {
 		if k = strings.TrimSpace(k); k != "" {
@@ -165,14 +259,18 @@ func run(o options) error {
 		realS, sim := s.Fig1()
 		r.table(seriesTable([]string{"real", "simulated"}, []stats.Series{realS, sim}, s.Days()))
 		r.text("final: real %.3f, simulated %.3f (paper: 0.68 real, 0.77 simulated; the"+
-			" reconstruction loses intra-day churn, so it ages less)", realS.Final(), sim.Final())
+			" reconstruction loses intra-day churn, so it ages less)",
+			realS.FinalOr(math.NaN()), sim.FinalOr(math.NaN()))
 	}
 
 	if sel("fig2") {
 		r.section("Figure 2: Aggregate Layout Score Over Time — FFS vs FFS+Realloc")
 		o, re := s.Fig2()
 		r.table(seriesTable([]string{"ffs", "ffs+realloc"}, []stats.Series{o, re}, s.Days()))
-		h := s.Headlines()
+		h, err := s.Headlines()
+		if err != nil {
+			return err
+		}
 		r.text("day 1:  ffs %.3f, realloc %.3f (paper: 0.924 vs 0.950)", h.Day1Orig, h.Day1Realloc)
 		r.text("final:  ffs %.3f, realloc %.3f (paper: 0.766 vs 0.899)", h.FinalOrig, h.FinalRealloc)
 		r.text("non-optimal blocks cut by %.1f%% (paper: 56.8%%)", 100*h.NonOptimalImprovement)
@@ -464,13 +562,13 @@ func seriesTable(names []string, series []stats.Series, days int) []string {
 	for d := 0; d < days; d += step {
 		row := fmt.Sprintf("  %4d  ", d+1)
 		for _, s := range series {
-			row += fmt.Sprintf("%12.3f", s.At(d))
+			row += fmt.Sprintf("%12.3f", s.AtOr(d, math.NaN()))
 		}
 		lines = append(lines, row)
 	}
 	row := fmt.Sprintf("  %4d  ", days)
 	for _, s := range series {
-		row += fmt.Sprintf("%12.3f", s.Final())
+		row += fmt.Sprintf("%12.3f", s.FinalOr(math.NaN()))
 	}
 	return append(lines, row)
 }

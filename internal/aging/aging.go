@@ -6,13 +6,21 @@
 // group sees the same allocation and deallocation request stream the
 // original group did. After each simulated day the aggregate layout
 // score is recorded — the data behind Figures 1 and 2.
+//
+// Replays can carry a fault plan (internal/faults) that injects
+// allocation failures and crashes, and can checkpoint their full state
+// every K days; ResumeReplay continues from a checkpoint and, because
+// images persist the allocator's rotors and statistics, produces the
+// byte-identical daily series an uninterrupted run would have.
 package aging
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"strconv"
 
+	"ffsage/internal/faults"
 	"ffsage/internal/ffs"
 	"ffsage/internal/layout"
 	"ffsage/internal/stats"
@@ -32,6 +40,20 @@ type Options struct {
 	// construction (tests and Check() assert it); the rescan survives
 	// as a cross-check path behind cmd/repro's -slowscore flag.
 	SlowScore bool
+
+	// Faults, when non-nil and non-empty, is installed as the
+	// allocator's fault hook and polled for crashes at every operation
+	// boundary. A crash ends the replay with an error wrapping
+	// *faults.Crash; the partial Result (including the possibly-corrupt
+	// file system) is still returned for inspection and Repair.
+	Faults *faults.Plan
+
+	// CheckpointEvery emits a checkpoint after every k-th completed
+	// simulated day (0 disables). Checkpoint must be set when nonzero.
+	CheckpointEvery int
+	// Checkpoint receives each emitted checkpoint; returning an error
+	// aborts the replay.
+	Checkpoint func(cp *trace.Checkpoint) error
 }
 
 // Result is the outcome of a replay.
@@ -43,10 +65,13 @@ type Result struct {
 	// UtilByDay is the utilization at the end of each day.
 	UtilByDay stats.Series
 	// SkippedOps counts operations that could not be applied (ENOSPC
-	// creations, deletes of files lost to earlier skips).
+	// creations, deletes of files lost to earlier skips, injected
+	// allocation faults).
 	SkippedOps int
 	// NoSpaceOps counts creations/rewrites that failed for space.
 	NoSpaceOps int
+	// FaultedOps counts operations lost to injected allocation faults.
+	FaultedOps int
 }
 
 // Replay builds an empty file system with the given parameters and
@@ -74,10 +99,97 @@ func ReplayOn(fsys *ffs.FileSystem, wl *trace.Workload, opts Options) (*Result, 
 		LayoutByDay: make(stats.Series, 0, wl.Days),
 		UtilByDay:   make(stats.Series, 0, wl.Days),
 	}
-
 	byID := make(map[int64]*ffs.File, 1024)
-	day := wl.Ops[0].Day
-	endDay := func() {
+	return replayFrom(fsys, wl, opts, dirs, byID, res, 0, wl.Ops[0].Day)
+}
+
+// ResumeReplay continues a checkpointed replay to completion. The
+// workload must be the one the checkpoint was taken under (guarded by
+// its hash); the produced Result's series are byte-identical to what
+// the uninterrupted run would have recorded.
+//
+// A resumed run does not re-fire the original run's fault plan; pass
+// opts.Faults only to inject new faults into the remainder.
+func ResumeReplay(policy ffs.Policy, wl *trace.Workload, cp *trace.Checkpoint, opts Options) (*Result, error) {
+	if len(wl.Ops) == 0 {
+		return nil, fmt.Errorf("aging: empty workload")
+	}
+	if got := trace.HashWorkload(wl); got != cp.WorkloadHash {
+		return nil, fmt.Errorf("aging: checkpoint was taken under a different workload (hash %016x, want %016x)",
+			cp.WorkloadHash, got)
+	}
+	firstDay := wl.Ops[0].Day
+	if cp.Day < firstDay || cp.NextOp > len(wl.Ops) {
+		return nil, fmt.Errorf("aging: checkpoint cursor (day %d, op %d) outside workload", cp.Day, cp.NextOp)
+	}
+	wantDays := cp.Day - firstDay + 1
+	if len(cp.LayoutByDay) != wantDays || len(cp.UtilByDay) != wantDays {
+		return nil, fmt.Errorf("aging: checkpoint carries %d recorded days, want %d",
+			len(cp.LayoutByDay), wantDays)
+	}
+	fsys, err := ffs.LoadImage(bytes.NewReader(cp.Image), policy)
+	if err != nil {
+		return nil, fmt.Errorf("aging: loading checkpoint image: %w", err)
+	}
+	dirs, err := GroupDirectories(fsys)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Fs:          fsys,
+		LayoutByDay: make(stats.Series, 0, wl.Days),
+		UtilByDay:   make(stats.Series, 0, wl.Days),
+		SkippedOps:  int(cp.SkippedOps),
+		NoSpaceOps:  int(cp.NoSpaceOps),
+		FaultedOps:  int(cp.FaultedOps),
+	}
+	for k, v := range cp.LayoutByDay {
+		res.LayoutByDay = append(res.LayoutByDay, stats.TimePoint{Day: firstDay + k, Value: v})
+	}
+	for k, v := range cp.UtilByDay {
+		res.UtilByDay = append(res.UtilByDay, stats.TimePoint{Day: firstDay + k, Value: v})
+	}
+	// The replayer keys live files by workload ID, and every file it
+	// creates is named after its ID, so the index rebuilds from names.
+	byID := make(map[int64]*ffs.File, len(fsys.Files()))
+	for _, f := range fsys.Files() {
+		if f.IsDir {
+			continue
+		}
+		id, err := strconv.ParseInt(f.Name, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("aging: checkpoint image has non-workload file %q", f.Name)
+		}
+		if byID[id] != nil {
+			return nil, fmt.Errorf("aging: checkpoint image has two files for id %d", id)
+		}
+		byID[id] = f
+	}
+	return replayFrom(fsys, wl, opts, dirs, byID, res, cp.NextOp, cp.Day+1)
+}
+
+// replayFrom is the replay core: it applies wl.Ops[startOp:] with the
+// day cursor starting at day, recording each completed day into res.
+func replayFrom(fsys *ffs.FileSystem, wl *trace.Workload, opts Options, dirs []*ffs.File,
+	byID map[int64]*ffs.File, res *Result, startOp, day int) (*Result, error) {
+
+	if opts.CheckpointEvery > 0 && opts.Checkpoint == nil {
+		return nil, fmt.Errorf("aging: CheckpointEvery set without a Checkpoint sink")
+	}
+	if opts.Faults != nil && !opts.Faults.Empty() {
+		fsys.FaultHook = opts.Faults
+		defer func() { fsys.FaultHook = nil }()
+	}
+	var wlHash uint64
+	if opts.CheckpointEvery > 0 {
+		wlHash = trace.HashWorkload(wl)
+	}
+
+	// endDay closes the current simulated day: record the series point,
+	// then (on schedule) consistency-check and checkpoint. nextOp is the
+	// index of the first operation not yet applied, i.e. the resume
+	// cursor a checkpoint taken now must carry.
+	endDay := func(nextOp int) error {
 		// O(1) per day from the allocator's incremental counters; the
 		// SlowScore rescan is the equal-by-construction cross-check.
 		score := fsys.LayoutScore()
@@ -92,35 +204,81 @@ func ReplayOn(fsys *ffs.FileSystem, wl *trace.Workload, opts Options) (*Result, 
 		}
 		if opts.CheckEvery > 0 && (day+1)%opts.CheckEvery == 0 {
 			if err := fsys.Check(); err != nil {
-				panic(fmt.Sprintf("aging: day %d consistency: %v", day, err))
+				return fmt.Errorf("aging: day %d consistency: %w", day, err)
 			}
 		}
+		if opts.CheckpointEvery > 0 && (day+1)%opts.CheckpointEvery == 0 {
+			var img bytes.Buffer
+			if err := fsys.SaveImage(&img); err != nil {
+				return fmt.Errorf("aging: day %d checkpoint image: %w", day, err)
+			}
+			cp := &trace.Checkpoint{
+				Day:          day,
+				NextOp:       nextOp,
+				SkippedOps:   int64(res.SkippedOps),
+				NoSpaceOps:   int64(res.NoSpaceOps),
+				FaultedOps:   int64(res.FaultedOps),
+				LayoutByDay:  res.LayoutByDay.Values(),
+				UtilByDay:    res.UtilByDay.Values(),
+				WorkloadHash: wlHash,
+				Image:        img.Bytes(),
+			}
+			if err := opts.Checkpoint(cp); err != nil {
+				return fmt.Errorf("aging: day %d checkpoint: %w", day, err)
+			}
+		}
+		return nil
 	}
 
-	for _, op := range wl.Ops {
+	// skippable reports whether a create/rewrite failure is one the
+	// replay absorbs (the op is lost, the run continues): allocation
+	// exhaustion, as in the paper's 90%-full runs, or an injected fault.
+	skippable := func(err error) bool {
+		if errors.Is(err, ffs.ErrNoSpace) || errors.Is(err, ffs.ErrNoInodes) {
+			res.NoSpaceOps++
+			return true
+		}
+		if errors.Is(err, faults.ErrInjected) {
+			res.FaultedOps++
+			return true
+		}
+		return false
+	}
+
+	var lastWritten *ffs.File
+	for i := startOp; i < len(wl.Ops); i++ {
+		op := wl.Ops[i]
 		for day < op.Day {
-			endDay()
+			if err := endDay(i); err != nil {
+				return res, err
+			}
 			day++
 		}
+		if c := opts.Faults.CrashBefore(i, op.Day); c != nil {
+			if c.Torn && lastWritten != nil && byID[mustID(lastWritten)] == lastWritten {
+				fsys.TearFile(lastWritten)
+			}
+			return res, fmt.Errorf("aging: %w", c)
+		}
 		if op.Cg < 0 || op.Cg >= len(dirs) {
-			return nil, fmt.Errorf("aging: op cg %d outside [0,%d)", op.Cg, len(dirs))
+			return res, fmt.Errorf("aging: op cg %d outside [0,%d)", op.Cg, len(dirs))
 		}
 		dir := dirs[op.Cg]
 		switch op.Kind {
 		case trace.OpCreate:
 			if byID[op.ID] != nil {
-				return nil, fmt.Errorf("aging: create of live id %d", op.ID)
+				return res, fmt.Errorf("aging: create of live id %d", op.ID)
 			}
 			f, err := fsys.CreateFile(dir, strconv.FormatInt(op.ID, 10), op.Size, op.Day)
 			if err != nil {
-				if errors.Is(err, ffs.ErrNoSpace) || errors.Is(err, ffs.ErrNoInodes) {
-					res.NoSpaceOps++
+				if skippable(err) {
 					res.SkippedOps++
 					continue
 				}
-				return nil, fmt.Errorf("aging: create %d: %w", op.ID, err)
+				return res, fmt.Errorf("aging: create %d: %w", op.ID, err)
 			}
 			byID[op.ID] = f
+			lastWritten = f
 		case trace.OpDelete:
 			f := byID[op.ID]
 			if f == nil {
@@ -128,7 +286,7 @@ func ReplayOn(fsys *ffs.FileSystem, wl *trace.Workload, opts Options) (*Result, 
 				continue
 			}
 			if err := fsys.Delete(f); err != nil {
-				return nil, fmt.Errorf("aging: delete %d: %w", op.ID, err)
+				return res, fmt.Errorf("aging: delete %d: %w", op.ID, err)
 			}
 			delete(byID, op.ID)
 		case trace.OpRewrite:
@@ -140,7 +298,7 @@ func ReplayOn(fsys *ffs.FileSystem, wl *trace.Workload, opts Options) (*Result, 
 			if f != nil {
 				name = f.Name
 				if err := fsys.Delete(f); err != nil {
-					return nil, fmt.Errorf("aging: rewrite-delete %d: %w", op.ID, err)
+					return res, fmt.Errorf("aging: rewrite-delete %d: %w", op.ID, err)
 				}
 				delete(byID, op.ID)
 			} else {
@@ -148,24 +306,36 @@ func ReplayOn(fsys *ffs.FileSystem, wl *trace.Workload, opts Options) (*Result, 
 			}
 			f, err := fsys.CreateFile(dir, name, op.Size, op.Day)
 			if err != nil {
-				if errors.Is(err, ffs.ErrNoSpace) || errors.Is(err, ffs.ErrNoInodes) {
-					res.NoSpaceOps++
+				if skippable(err) {
 					res.SkippedOps++
 					continue
 				}
-				return nil, fmt.Errorf("aging: rewrite %d: %w", op.ID, err)
+				return res, fmt.Errorf("aging: rewrite %d: %w", op.ID, err)
 			}
 			byID[op.ID] = f
+			lastWritten = f
 		default:
-			return nil, fmt.Errorf("aging: op kind %v", op.Kind)
+			return res, fmt.Errorf("aging: op kind %v", op.Kind)
 		}
 	}
-	endDay()
-	for d := day + 1; d < wl.Days; d++ {
-		day = d
-		endDay()
+	// Record the in-progress day and pad out idle trailing days. A
+	// resume whose checkpoint already covered the final day records
+	// nothing more.
+	for ; day < wl.Days; day++ {
+		if err := endDay(len(wl.Ops)); err != nil {
+			return res, err
+		}
 	}
 	return res, nil
+}
+
+// mustID parses the workload ID a replay-created file is named after.
+func mustID(f *ffs.File) int64 {
+	id, err := strconv.ParseInt(f.Name, 10, 64)
+	if err != nil {
+		return -1 << 62 // not a replay file; never matches a byID key
+	}
+	return id
 }
 
 // GroupDirectories creates (or finds) one directory per cylinder group

@@ -81,6 +81,19 @@ type Stats struct {
 	OverheadTime      float64
 	SeekCount         int64 // non-zero-distance seeks
 	CylindersTraveled int64
+	IOErrors          int64 // injected faults retried (see SetFaultHook)
+}
+
+// IOFaultHook is the fault-injection point for the disk model. It is a
+// structural interface so fault plans (internal/faults) can live in a
+// package that does not import disk.
+type IOFaultHook interface {
+	// BeforeIO is consulted once per drive request (after splitting at
+	// MaxTransfer). A non-nil error injects a recoverable medium error:
+	// the drive retries the request after a lost revolution plus a
+	// controller round-trip, which is how real drives surface soft
+	// errors — as latency, not failure.
+	BeforeIO(write bool, lba int64, nsect int) error
 }
 
 // Disk is a single-actuator disk with a deterministic clock. It is not
@@ -99,6 +112,8 @@ type Disk struct {
 	raValid bool
 	raFrom  int64 // first LBA that is (or will be) buffered
 	raCyl   int   // cylinder the read-ahead stream is on
+
+	faults IOFaultHook
 
 	stats Stats
 }
@@ -129,6 +144,10 @@ func (d *Disk) Stats() Stats { return d.stats }
 
 // ResetStats zeroes the statistics without touching the clock or head.
 func (d *Disk) ResetStats() { d.stats = Stats{} }
+
+// SetFaultHook installs (or, with nil, removes) the fault-injection
+// hook consulted before every drive request.
+func (d *Disk) SetFaultHook(h IOFaultHook) { d.faults = h }
 
 // Idle advances the clock without disk activity (host compute time).
 func (d *Disk) Idle(seconds float64) {
@@ -186,6 +205,17 @@ func (d *Disk) request(lba int64, nsect int, write bool) {
 	g := d.p.Geom
 	d.now += d.p.CtlOverhead
 	d.stats.OverheadTime += d.p.CtlOverhead
+
+	if d.faults != nil {
+		if err := d.faults.BeforeIO(write, lba, nsect); err != nil {
+			// Recoverable medium error: the drive retries after a lost
+			// revolution, and the controller pays another round-trip.
+			d.stats.IOErrors++
+			penalty := g.RotationPeriod() + d.p.CtlOverhead
+			d.now += penalty
+			d.stats.OverheadTime += penalty
+		}
+	}
 
 	if write {
 		d.stats.Writes++

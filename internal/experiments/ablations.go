@@ -3,6 +3,7 @@ package experiments
 import (
 	"context"
 	"fmt"
+	"math"
 
 	"ffsage/internal/bench"
 	"ffsage/internal/core"
@@ -55,7 +56,7 @@ func runAblation(cfg Config, label string, fp ffs.Params, policy ffs.Policy) (Ab
 	}
 	return AblationResult{
 		Label:         label,
-		FinalLayout:   res.LayoutByDay.Final(),
+		FinalLayout:   res.LayoutByDay.FinalOr(math.NaN()),
 		BenchLayout96: seq.LayoutScore,
 		BenchRead96:   seq.ReadBps,
 		ClusterMoves:  res.Fs.Stats.ClusterMoves,
@@ -118,7 +119,7 @@ func AblationQuirk(cfg Config) ([]QuirkResult, error) {
 			out[i] = QuirkResult{
 				Label:         pol.Name(),
 				TwoBlockScore: buckets[0].Score,
-				FinalLayout:   res.LayoutByDay.Final(),
+				FinalLayout:   res.LayoutByDay.FinalOr(math.NaN()),
 			}
 			return nil
 		})

@@ -8,8 +8,10 @@ package experiments
 import (
 	"context"
 	"fmt"
+	"strings"
 
 	"ffsage/internal/aging"
+	"ffsage/internal/faults"
 	"ffsage/internal/bench"
 	"ffsage/internal/core"
 	"ffsage/internal/disk"
@@ -41,6 +43,28 @@ type Config struct {
 	// incremental counters — the cross-check path behind cmd/repro's
 	// -slowscore flag. The two are equal by construction.
 	SlowScore bool
+	// Recovery wires fault injection and checkpoint/resume into the
+	// three aging arms (cmd/repro's -faults / -checkpoint flags). A
+	// non-nil Recovery bypasses the process-wide aged-image cache:
+	// faulted or resumed replays are side-effecting and must run.
+	Recovery *Recovery
+}
+
+// Recovery configures fault injection and checkpoint/resume for the
+// aging replays. The arm slugs passed to Sink and Resume are stable:
+// "age-ffs", "age-realloc" and "age-ground-truth".
+type Recovery struct {
+	// Faults is the injection plan; it is Clone()d into each arm so
+	// concurrent arms do not share its one-shot counters.
+	Faults *faults.Plan
+	// CheckpointEvery emits a checkpoint every k completed simulated
+	// days (0 disables). Requires Sink.
+	CheckpointEvery int
+	// Sink returns the checkpoint consumer for an arm.
+	Sink func(arm string) func(*trace.Checkpoint) error
+	// Resume, when non-nil, is asked for each arm's starting
+	// checkpoint; returning (nil, nil) starts the arm fresh.
+	Resume func(arm string) (*trace.Checkpoint, error)
 }
 
 // agingOpts returns the replay options this configuration implies.
@@ -137,7 +161,13 @@ func NewSuite(cfg Config) (*Suite, error) {
 	for i := range runs {
 		r := runs[i]
 		g.Go(r.name, func(context.Context) error {
-			res, err := CachedAgedImage(cfg.FsParams, r.policy, r.wl, r.key, cfg.agingOpts())
+			var res *aging.Result
+			var err error
+			if cfg.Recovery != nil {
+				res, err = ageArm(cfg, strings.ReplaceAll(r.name, " ", "-"), r.policy, r.wl)
+			} else {
+				res, err = CachedAgedImage(cfg.FsParams, r.policy, r.wl, r.key, cfg.agingOpts())
+			}
 			if err != nil {
 				return fmt.Errorf("%s: %w", r.name, err)
 			}
@@ -149,6 +179,31 @@ func NewSuite(cfg Config) (*Suite, error) {
 		return nil, err
 	}
 	return s, nil
+}
+
+// ageArm runs one aging replay with the Recovery wiring: resume from a
+// checkpoint when one is offered, otherwise replay from scratch with
+// the arm's private clone of the fault plan.
+func ageArm(cfg Config, arm string, policy ffs.Policy, wl *trace.Workload) (*aging.Result, error) {
+	rec := cfg.Recovery
+	opts := cfg.agingOpts()
+	if rec.CheckpointEvery > 0 && rec.Sink != nil {
+		opts.CheckpointEvery = rec.CheckpointEvery
+		opts.Checkpoint = rec.Sink(arm)
+	}
+	if rec.Resume != nil {
+		cp, err := rec.Resume(arm)
+		if err != nil {
+			return nil, fmt.Errorf("resuming %s: %w", arm, err)
+		}
+		if cp != nil {
+			// A resumed run finishes the remainder; the original plan's
+			// faults already fired and are not replayed.
+			return aging.ResumeReplay(policy, wl, cp, opts)
+		}
+	}
+	opts.Faults = rec.Faults.Clone()
+	return aging.Replay(cfg.FsParams, policy, wl, opts)
 }
 
 // Days returns the simulated period length.
@@ -294,10 +349,16 @@ type HeadlineNumbers struct {
 	Fig1RealFinal, Fig1SimFinal float64
 }
 
-// Headlines computes the summary comparison numbers.
-func (s *Suite) Headlines() HeadlineNumbers {
+// Headlines computes the summary comparison numbers. It errors instead
+// of panicking when an aging series is empty (a zero-day or truncated
+// run has no final layout to compare).
+func (s *Suite) Headlines() (HeadlineNumbers, error) {
 	o, r := s.Fig2()
 	realSeries, sim := s.Fig1()
+	if len(o) == 0 || len(r) == 0 || len(realSeries) == 0 || len(sim) == 0 {
+		return HeadlineNumbers{}, fmt.Errorf("experiments: empty aging series (%d/%d/%d/%d days); headline numbers need at least one completed day",
+			len(o), len(r), len(realSeries), len(sim))
+	}
 	nonOptO := 1 - o.Final()
 	nonOptR := 1 - r.Final()
 	improvement := 0.0
@@ -322,5 +383,5 @@ func (s *Suite) Headlines() HeadlineNumbers {
 		SeeksRealloc:          seeksR,
 		Fig1RealFinal:         realSeries.Final(),
 		Fig1SimFinal:          sim.Final(),
-	}
+	}, nil
 }

@@ -25,7 +25,10 @@ func sharedQuick(t *testing.T) *Suite {
 
 func TestSuiteHeadlines(t *testing.T) {
 	s := sharedQuick(t)
-	h := s.Headlines()
+	h, err := s.Headlines()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if h.FinalRealloc <= h.FinalOrig {
 		t.Errorf("realloc %.3f not better than ffs %.3f", h.FinalRealloc, h.FinalOrig)
 	}
@@ -199,7 +202,10 @@ func TestAblationCrossCgQuick(t *testing.T) {
 // than 50%.
 func TestSeekReductionHeadline(t *testing.T) {
 	s := sharedQuick(t)
-	h := s.Headlines()
+	h, err := s.Headlines()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if h.SeeksOrig <= h.SeeksRealloc {
 		t.Fatalf("seeks %d → %d: no reduction", h.SeeksOrig, h.SeeksRealloc)
 	}

@@ -3,6 +3,7 @@ package experiments
 import (
 	"context"
 	"fmt"
+	"math"
 
 	"ffsage/internal/bench"
 	"ffsage/internal/core"
@@ -70,10 +71,10 @@ func RunProfile(cfg Config, p workload.Profile) (ProfileResult, error) {
 			}
 			switch pol.(type) {
 			case core.Original:
-				res.LayoutFFS = aged.LayoutByDay.Final()
+				res.LayoutFFS = aged.LayoutByDay.FinalOr(math.NaN())
 				res.HotReadFFS = hot.ReadBps
 			default:
-				res.LayoutRealloc = aged.LayoutByDay.Final()
+				res.LayoutRealloc = aged.LayoutByDay.FinalOr(math.NaN())
 				res.HotReadRealloc = hot.ReadBps
 			}
 			return nil

@@ -1,0 +1,225 @@
+// Package faults provides deterministic fault plans for the simulator:
+// allocation failures on the Nth allocation, disk medium errors on the
+// Nth drive request, torn writes, and crashes at operation or day
+// boundaries. A plan is parsed from a compact spec string and fires the
+// same events at the same points on every run, so any failure a plan
+// provokes is reproducible from the (spec, seed) pair alone.
+//
+// The package deliberately imports nothing from the rest of the
+// simulator. It plugs in through structural interfaces:
+//
+//   - *Plan satisfies ffs.AllocFaultHook via BeforeAlloc;
+//   - *Plan satisfies disk.IOFaultHook via BeforeIO;
+//   - the aging replayer polls CrashBefore at each operation boundary.
+//
+// Spec grammar (comma-separated events):
+//
+//	ioerr@alloc:N      fail the Nth allocation (1-based) with ErrInjected
+//	diskerr@io:N       medium error on the Nth drive request (retried)
+//	crash@op:N         crash before applying operation N (0-based)
+//	crash@day:D        crash at the first operation of day D
+//	tear@op:N          like crash@op:N, but the crash also tears the
+//	                   most recent multi-fragment write (torn pointer
+//	                   update), leaving corruption for Repair to mend
+//	tear@day:D         likewise at a day boundary
+//
+// Each event fires exactly once. Plans are stateful (they count
+// allocations and I/Os); use Clone to give concurrent runs independent
+// counters.
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ErrInjected is the error injected into allocations by ioerr events.
+var ErrInjected = errors.New("faults: injected I/O error")
+
+// Crash reports that a plan called for a crash at a specific point.
+// The replayer returns it (wrapped) and stops; *Crash is the signal
+// that the run ended at a planned crash rather than on a real failure.
+type Crash struct {
+	Op   int  // operation index the crash preceded
+	Day  int  // simulated day at the crash
+	Torn bool // whether the crash also tore the last write
+}
+
+func (c *Crash) Error() string {
+	kind := "crash"
+	if c.Torn {
+		kind = "crash with torn write"
+	}
+	return fmt.Sprintf("faults: %s before op %d (day %d)", kind, c.Op, c.Day)
+}
+
+type eventKind int
+
+const (
+	evAllocErr eventKind = iota
+	evDiskErr
+	evCrashOp
+	evCrashDay
+)
+
+type event struct {
+	kind eventKind
+	n    int64 // allocation/io ordinal, op index, or day
+	torn bool
+	done bool
+}
+
+// Plan is a parsed fault plan. The zero value is a plan with no events.
+type Plan struct {
+	spec   string
+	events []event
+
+	allocs int64 // allocations seen so far
+	ios    int64 // drive requests seen so far
+}
+
+// Parse builds a plan from a spec string; see the package comment for
+// the grammar. An empty spec yields an empty plan.
+func Parse(spec string) (*Plan, error) {
+	p := &Plan{spec: spec}
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return p, nil
+	}
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		kind, point, ok := strings.Cut(part, "@")
+		if !ok {
+			return nil, fmt.Errorf("faults: event %q: want kind@point", part)
+		}
+		where, num, ok := strings.Cut(point, ":")
+		if !ok {
+			return nil, fmt.Errorf("faults: event %q: want kind@where:N", part)
+		}
+		n, err := strconv.ParseInt(num, 10, 64)
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("faults: event %q: bad count %q", part, num)
+		}
+		ev := event{n: n}
+		switch {
+		case kind == "ioerr" && where == "alloc":
+			if n < 1 {
+				return nil, fmt.Errorf("faults: event %q: allocations are 1-based", part)
+			}
+			ev.kind = evAllocErr
+		case kind == "diskerr" && where == "io":
+			if n < 1 {
+				return nil, fmt.Errorf("faults: event %q: I/Os are 1-based", part)
+			}
+			ev.kind = evDiskErr
+		case (kind == "crash" || kind == "tear") && where == "op":
+			ev.kind = evCrashOp
+			ev.torn = kind == "tear"
+		case (kind == "crash" || kind == "tear") && where == "day":
+			ev.kind = evCrashDay
+			ev.torn = kind == "tear"
+		default:
+			return nil, fmt.Errorf("faults: event %q: unknown kind/point %q@%q", part, kind, where)
+		}
+		p.events = append(p.events, ev)
+	}
+	return p, nil
+}
+
+// MustParse is Parse for specs known good at compile time; it panics on
+// error.
+func MustParse(spec string) *Plan {
+	p, err := Parse(spec)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Spec returns the spec string the plan was parsed from.
+func (p *Plan) Spec() string { return p.spec }
+
+// Empty reports whether the plan has no events.
+func (p *Plan) Empty() bool { return p == nil || len(p.events) == 0 }
+
+// Clone returns a plan with the same events and fresh counters, for
+// running the same plan against another replay concurrently.
+func (p *Plan) Clone() *Plan {
+	if p == nil {
+		return nil
+	}
+	c := &Plan{spec: p.spec, events: make([]event, len(p.events))}
+	copy(c.events, p.events)
+	for i := range c.events {
+		c.events[i].done = false
+	}
+	return c
+}
+
+// BeforeAlloc implements ffs.AllocFaultHook: it counts allocations and
+// fails the ones an ioerr@alloc event names with ErrInjected.
+func (p *Plan) BeforeAlloc(frags int) error {
+	p.allocs++
+	for i := range p.events {
+		ev := &p.events[i]
+		if ev.kind == evAllocErr && !ev.done && ev.n == p.allocs {
+			ev.done = true
+			return fmt.Errorf("%w (allocation %d, %d frags)", ErrInjected, p.allocs, frags)
+		}
+	}
+	return nil
+}
+
+// BeforeIO implements disk.IOFaultHook: it counts drive requests and
+// injects a medium error into the ones a diskerr@io event names.
+func (p *Plan) BeforeIO(write bool, lba int64, nsect int) error {
+	p.ios++
+	for i := range p.events {
+		ev := &p.events[i]
+		if ev.kind == evDiskErr && !ev.done && ev.n == p.ios {
+			ev.done = true
+			return fmt.Errorf("%w (request %d at lba %d)", ErrInjected, p.ios, lba)
+		}
+	}
+	return nil
+}
+
+// CrashBefore reports whether the plan calls for a crash before
+// applying operation op on the given simulated day. Each crash event
+// fires at most once; a day-crash fires at the first boundary whose day
+// is at least the target (days with no operations are skipped over).
+func (p *Plan) CrashBefore(op, day int) *Crash {
+	if p == nil {
+		return nil
+	}
+	for i := range p.events {
+		ev := &p.events[i]
+		if ev.done {
+			continue
+		}
+		fire := (ev.kind == evCrashOp && int64(op) == ev.n) ||
+			(ev.kind == evCrashDay && int64(day) >= ev.n)
+		if fire {
+			ev.done = true
+			return &Crash{Op: op, Day: day, Torn: ev.torn}
+		}
+	}
+	return nil
+}
+
+// CrashPoints returns n distinct operation indices in [0, maxOp),
+// deterministically derived from seed and sorted ascending — the crash
+// schedule the differential recovery harness sweeps.
+func CrashPoints(seed int64, n, maxOp int) []int {
+	if n > maxOp {
+		n = maxOp
+	}
+	rng := rand.New(rand.NewSource(seed))
+	out := append([]int(nil), rng.Perm(maxOp)[:n]...)
+	sort.Ints(out)
+	return out
+}

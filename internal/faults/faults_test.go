@@ -1,0 +1,140 @@
+package faults
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+)
+
+func TestParseRejectsMalformedSpecs(t *testing.T) {
+	for _, spec := range []string{
+		"ioerr",             // no point
+		"ioerr@alloc",       // no count
+		"ioerr@alloc:x",     // bad count
+		"ioerr@alloc:-1",    // negative
+		"ioerr@alloc:0",     // allocations are 1-based
+		"diskerr@io:0",      // I/Os are 1-based
+		"boom@op:3",         // unknown kind
+		"crash@alloc:3",     // mismatched point
+		"crash@op:1,zzz@io", // second event bad
+	} {
+		if _, err := Parse(spec); err == nil {
+			t.Errorf("Parse(%q) accepted a malformed spec", spec)
+		}
+	}
+}
+
+func TestEmptyPlan(t *testing.T) {
+	p, err := Parse("  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Empty() {
+		t.Fatal("blank spec not empty")
+	}
+	if p.BeforeAlloc(8) != nil || p.BeforeIO(true, 0, 1) != nil || p.CrashBefore(0, 0) != nil {
+		t.Fatal("empty plan fired")
+	}
+	var nilPlan *Plan
+	if !nilPlan.Empty() || nilPlan.CrashBefore(0, 0) != nil {
+		t.Fatal("nil plan misbehaved")
+	}
+}
+
+func TestAllocFaultFiresOnceAtN(t *testing.T) {
+	p := MustParse("ioerr@alloc:3")
+	var failures []int
+	for i := 1; i <= 6; i++ {
+		if err := p.BeforeAlloc(8); err != nil {
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("wrong error type: %v", err)
+			}
+			failures = append(failures, i)
+		}
+	}
+	if !reflect.DeepEqual(failures, []int{3}) {
+		t.Fatalf("failures at %v, want [3]", failures)
+	}
+}
+
+func TestDiskFaultFiresOnceAtN(t *testing.T) {
+	p := MustParse("diskerr@io:2")
+	var failures []int
+	for i := 1; i <= 4; i++ {
+		if err := p.BeforeIO(i%2 == 0, int64(i), 1); err != nil {
+			failures = append(failures, i)
+		}
+	}
+	if !reflect.DeepEqual(failures, []int{2}) {
+		t.Fatalf("failures at %v, want [2]", failures)
+	}
+}
+
+func TestCrashAtOpAndDay(t *testing.T) {
+	p := MustParse("crash@op:5")
+	for op := 0; op < 5; op++ {
+		if c := p.CrashBefore(op, 0); c != nil {
+			t.Fatalf("fired early at op %d: %v", op, c)
+		}
+	}
+	c := p.CrashBefore(5, 2)
+	if c == nil || c.Op != 5 || c.Day != 2 || c.Torn {
+		t.Fatalf("crash = %+v, want op 5 day 2 untorn", c)
+	}
+	if p.CrashBefore(5, 2) != nil {
+		t.Fatal("crash fired twice")
+	}
+
+	// A day-crash fires at the first boundary at or past the target,
+	// even when the exact day has no operations.
+	p = MustParse("tear@day:10")
+	if p.CrashBefore(40, 9) != nil {
+		t.Fatal("day crash fired early")
+	}
+	c = p.CrashBefore(41, 12)
+	if c == nil || !c.Torn {
+		t.Fatalf("crash = %+v, want torn crash", c)
+	}
+}
+
+func TestCloneResetsCounters(t *testing.T) {
+	p := MustParse("ioerr@alloc:2")
+	p.BeforeAlloc(8)
+	if err := p.BeforeAlloc(8); err == nil {
+		t.Fatal("original did not fire")
+	}
+	c := p.Clone()
+	if err := c.BeforeAlloc(8); err != nil {
+		t.Fatal("clone inherited the original's counter")
+	}
+	if err := c.BeforeAlloc(8); err == nil {
+		t.Fatal("clone did not fire at its own 2nd allocation")
+	}
+}
+
+func TestCrashPointsDeterministicAndDistinct(t *testing.T) {
+	a := CrashPoints(42, 100, 5000)
+	b := CrashPoints(42, 100, 5000)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different schedules")
+	}
+	if len(a) != 100 {
+		t.Fatalf("got %d points, want 100", len(a))
+	}
+	seen := map[int]bool{}
+	for i, pt := range a {
+		if pt < 0 || pt >= 5000 {
+			t.Fatalf("point %d out of range", pt)
+		}
+		if seen[pt] {
+			t.Fatalf("duplicate point %d", pt)
+		}
+		seen[pt] = true
+		if i > 0 && a[i-1] > pt {
+			t.Fatal("schedule not sorted")
+		}
+	}
+	if c := CrashPoints(7, 10, 4); len(c) != 4 {
+		t.Fatalf("n>maxOp not clamped: %d points", len(c))
+	}
+}

@@ -80,6 +80,11 @@ func (fs *FileSystem) blkpref(f *File, lbn int) (cgIdx int, pref Daddr) {
 // allocBlockMech allocates one full block, preferring (cgIdx, pref) and
 // falling back across groups. Returns the block's fragment address.
 func (fs *FileSystem) allocBlockMech(cgIdx int, pref Daddr) (Daddr, error) {
+	if fs.FaultHook != nil {
+		if err := fs.FaultHook.BeforeAlloc(fs.fpb); err != nil {
+			return 0, err
+		}
+	}
 	if fs.freespace() < int64(fs.fpb) {
 		fs.Stats.NoSpaceFailures++
 		return 0, ErrNoSpace
@@ -100,7 +105,7 @@ func (fs *FileSystem) allocBlockMech(cgIdx int, pref Daddr) (Daddr, error) {
 	}
 	b := c.allocBlockNear(prefRel)
 	if b < 0 {
-		panic(fmt.Sprintf("ffs: cg %d nbfree>0 but allocBlockNear failed", chosen))
+		throwCorrupt("allocBlock", chosen, "nbfree>0 but allocBlockNear failed")
 	}
 	fs.Stats.BlocksAllocated++
 	return c.absFrag(b * fs.fpb), nil
@@ -111,6 +116,11 @@ func (fs *FileSystem) allocBlockMech(cgIdx int, pref Daddr) (Daddr, error) {
 func (fs *FileSystem) allocFragsMech(cgIdx int, pref Daddr, n int) (Daddr, error) {
 	if n <= 0 || n >= fs.fpb {
 		panic(fmt.Sprintf("ffs: allocFragsMech n=%d", n))
+	}
+	if fs.FaultHook != nil {
+		if err := fs.FaultHook.BeforeAlloc(n); err != nil {
+			return 0, err
+		}
 	}
 	if fs.freespace() < int64(n) {
 		fs.Stats.NoSpaceFailures++
@@ -143,7 +153,7 @@ func (fs *FileSystem) allocFragsMech(cgIdx int, pref Daddr, n int) (Daddr, error
 	}
 	idx := c.allocFrags(n, prefRel)
 	if idx < 0 {
-		panic(fmt.Sprintf("ffs: cg %d canSatisfy(%d) but allocFrags failed", chosen, n))
+		throwCorrupt("allocFrags", chosen, "canSatisfy(%d) but allocFrags failed", n)
 	}
 	fs.Stats.FragAllocs++
 	return c.absFrag(idx), nil

@@ -120,7 +120,7 @@ func (c *CylGroup) clusterRemove(length int) {
 		length = c.fs.P.MaxContig
 	}
 	if c.clusterSum[length] == 0 {
-		panic(fmt.Sprintf("ffs: cg %d clusterSum[%d] underflow", c.Index, length))
+		throwCorrupt("clusterAcct", c.Index, "clusterSum[%d] underflow", length)
 	}
 	c.clusterSum[length]--
 }
@@ -210,7 +210,7 @@ func (c *CylGroup) pattern(b int) blockPattern {
 // simulator's equivalent of a "freeing free block" kernel panic.
 func (c *CylGroup) mutateFrags(lo, hi int, alloc bool) {
 	if lo < 0 || hi > c.nfrags || lo >= hi {
-		panic(fmt.Sprintf("ffs: cg %d mutate [%d,%d) of %d", c.Index, lo, hi, c.nfrags))
+		throwCorrupt("mutateFrags", c.Index, "range [%d,%d) of %d", lo, hi, c.nfrags)
 	}
 	fpb := c.fs.fpb
 	for b := lo / fpb; b <= (hi-1)/fpb; b++ {
@@ -230,7 +230,7 @@ func (c *CylGroup) mutateFrags(lo, hi int, alloc bool) {
 				if alloc {
 					state = "allocated"
 				}
-				panic(fmt.Sprintf("ffs: cg %d frag %d already %s", c.Index, i, state))
+				throwCorrupt("mutateFrags", c.Index, "frag %d already %s", i, state)
 			}
 			if alloc {
 				c.free.Clear(i)
@@ -259,7 +259,7 @@ func (c *CylGroup) applyPatternDelta(b int, before, after blockPattern) {
 	for k := 1; k < c.fs.fpb; k++ {
 		c.frsum[k] += after.runs[k] - before.runs[k]
 		if c.frsum[k] < 0 {
-			panic(fmt.Sprintf("ffs: cg %d frsum[%d] underflow", c.Index, k))
+			throwCorrupt("applyPatternDelta", c.Index, "frsum[%d] underflow", k)
 		}
 	}
 }
@@ -268,7 +268,7 @@ func (c *CylGroup) applyPatternDelta(b int, before, after blockPattern) {
 // fully free; callers test first.
 func (c *CylGroup) allocBlockAt(b int) {
 	if !c.blkfree.Test(b) {
-		panic(fmt.Sprintf("ffs: cg %d block %d not free", c.Index, b))
+		throwCorrupt("allocBlockAt", c.Index, "block %d not free", b)
 	}
 	fpb := c.fs.fpb
 	c.mutateFrags(b*fpb, (b+1)*fpb, true)
@@ -299,7 +299,7 @@ func (c *CylGroup) allocBlockNear(prefFrag int) int {
 		b = c.blkfree.NextSet(0)
 	}
 	if b < 0 {
-		panic(fmt.Sprintf("ffs: cg %d nbfree=%d but no free block found", c.Index, c.nbfree))
+		throwCorrupt("allocBlockNear", c.Index, "nbfree=%d but no free block found", c.nbfree)
 	}
 	c.allocBlockAt(b)
 	return b
@@ -355,7 +355,8 @@ func (c *CylGroup) allocFrags(n, prefFrag int) int {
 		c.rotor = b * fpb
 		return idx
 	}
-	panic(fmt.Sprintf("ffs: cg %d frsum[%d]=%d but no run found", c.Index, allocsiz, c.frsum[allocsiz]))
+	throwCorrupt("allocFrags", c.Index, "frsum[%d]=%d but no run found", allocsiz, c.frsum[allocsiz])
+	return -1 // unreachable
 }
 
 // allocBlockNearFree is allocBlockNear without claiming the block; it
@@ -399,7 +400,8 @@ func (c *CylGroup) findRunInBlock(b, length int) int {
 		}
 		run = 0
 	}
-	panic(fmt.Sprintf("ffs: cg %d block %d has no run of %d", c.Index, b, length))
+	throwCorrupt("findRunInBlock", c.Index, "block %d has no run of %d", b, length)
+	return -1 // unreachable
 }
 
 // extendFrags grows an existing fragment run in place from oldN to newN
@@ -446,7 +448,7 @@ func (c *CylGroup) allocCluster(prefBlock, n int) int {
 		b = c.findClusterBestFit(n)
 	}
 	if b < 0 {
-		panic(fmt.Sprintf("ffs: cg %d HasCluster(%d) but search failed", c.Index, n))
+		throwCorrupt("allocCluster", c.Index, "HasCluster(%d) but search failed", n)
 	}
 	fpb := c.fs.fpb
 	c.mutateFrags(b*fpb, (b+n)*fpb, true)
@@ -502,7 +504,7 @@ func (c *CylGroup) allocInode() int {
 // freeInode releases inode slot i.
 func (c *CylGroup) freeInode(i int) {
 	if c.inodes.Test(i) {
-		panic(fmt.Sprintf("ffs: cg %d inode %d already free", c.Index, i))
+		throwCorrupt("freeInode", c.Index, "inode %d already free", i)
 	}
 	c.inodes.Set(i)
 	c.nifree++

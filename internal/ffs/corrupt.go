@@ -1,0 +1,18 @@
+package ffs
+
+// TearFile simulates a torn multi-fragment write against f: the inode
+// (with its updated size) reached disk, but the final block-pointer
+// update did not, so the last block's fragments remain marked allocated
+// while no pointer references them. The file system is deliberately
+// left inconsistent — Size disagrees with the block count, the
+// fragments leak, and the layout counters go stale — exactly the state
+// a crash mid-write leaves behind. Check() reports it; Repair() mends
+// it by truncating f to the blocks actually present and freeing the
+// leak. Returns false when f has no blocks to tear.
+func (fs *FileSystem) TearFile(f *File) bool {
+	if len(f.Blocks) == 0 {
+		return false
+	}
+	f.Blocks = f.Blocks[:len(f.Blocks)-1]
+	return true
+}

@@ -84,8 +84,11 @@ func (fs *FileSystem) makeDirectory(parent *File, name string, day int) (*File, 
 	return d, nil
 }
 
-// Mkdir creates a subdirectory of parent.
-func (fs *FileSystem) Mkdir(parent *File, name string, day int) (*File, error) {
+// Mkdir creates a subdirectory of parent. A returned *CorruptionError
+// means the file system tripped over inconsistent on-disk state; see
+// CorruptionError.
+func (fs *FileSystem) Mkdir(parent *File, name string, day int) (d *File, err error) {
+	defer recoverCorruption(&err)
 	if !parent.IsDir {
 		return nil, fmt.Errorf("ffs: Mkdir in non-directory %s", parent.Path())
 	}
@@ -96,7 +99,8 @@ func (fs *FileSystem) Mkdir(parent *File, name string, day int) (*File, error) {
 // charges the target directory for the new entry (directories never
 // shrink, so the old entry's space simply becomes slack) and refuses to
 // clobber an existing name or to move a directory into itself.
-func (fs *FileSystem) Rename(f *File, newDir *File, newName string, day int) error {
+func (fs *FileSystem) Rename(f *File, newDir *File, newName string, day int) (err error) {
+	defer recoverCorruption(&err)
 	if !newDir.IsDir {
 		return fmt.Errorf("ffs: rename target %s not a directory", newDir.Path())
 	}
@@ -140,7 +144,7 @@ func (fs *FileSystem) addEntry(dir *File, f *File, day int) error {
 		if err := fs.Append(dir, grow, day); err != nil {
 			// Undo whatever partial growth happened.
 			if terr := fs.Truncate(dir, before, day); terr != nil {
-				panic(fmt.Sprintf("ffs: rolling back directory %s: %v", dir.Path(), terr))
+				throwCorrupt("addEntry", -1, "rolling back directory %s: %v", dir.Path(), terr)
 			}
 			return fmt.Errorf("ffs: growing directory %s: %w", dir.Path(), err)
 		}

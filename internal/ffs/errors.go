@@ -1,0 +1,64 @@
+package ffs
+
+import "fmt"
+
+// CorruptionError reports an on-"disk" state inconsistency discovered
+// mid-operation: a free-map bit disagreeing with an allocation request,
+// a summary counter promising space the map does not hold, a fragment
+// address outside the file system. These are the conditions a real FFS
+// turns into a kernel panic ("freeing free block"); here they are typed
+// errors so a damaged simulation can be stopped, inspected with
+// Check(), and mended with Repair() instead of killing the process.
+//
+// Internally the mutation paths still unwind with panic — threading an
+// error through every bitmap update would bury the allocator in
+// plumbing — but every exported mutator recovers *CorruptionError
+// specifically (and only it) and returns it to the caller. A file
+// system that has returned a CorruptionError is in an unspecified
+// state: run Repair() before using it further.
+//
+// Panics that indicate caller bugs (negative sizes, out-of-range
+// arguments to internal helpers) are NOT converted; those remain
+// programmer errors.
+type CorruptionError struct {
+	// Op names the operation that tripped over the corruption
+	// ("mutateFrags", "alloc", "ialloc", ...).
+	Op string
+	// Cg is the cylinder group involved, or -1 when not group-local.
+	Cg int
+	// Detail is the human-readable description.
+	Detail string
+}
+
+func (e *CorruptionError) Error() string {
+	if e.Cg >= 0 {
+		return fmt.Sprintf("ffs: corruption in %s (cg %d): %s", e.Op, e.Cg, e.Detail)
+	}
+	return fmt.Sprintf("ffs: corruption in %s: %s", e.Op, e.Detail)
+}
+
+// corruptf builds a CorruptionError; throwCorrupt panics with one, to
+// be recovered at the public API boundary by recoverCorruption.
+func corruptf(op string, cg int, format string, args ...interface{}) *CorruptionError {
+	return &CorruptionError{Op: op, Cg: cg, Detail: fmt.Sprintf(format, args...)}
+}
+
+func throwCorrupt(op string, cg int, format string, args ...interface{}) {
+	panic(corruptf(op, cg, format, args...))
+}
+
+// recoverCorruption converts an in-flight *CorruptionError panic into a
+// returned error; any other panic is re-raised. Exported mutators use
+// it as `defer recoverCorruption(&err)` so corruption surfaces to
+// callers instead of killing the process.
+func recoverCorruption(err *error) {
+	r := recover()
+	if r == nil {
+		return
+	}
+	if ce, ok := r.(*CorruptionError); ok {
+		*err = ce
+		return
+	}
+	panic(r)
+}

@@ -75,7 +75,10 @@ func (fs *FileSystem) fragsForBytes(n int64) int {
 // original FFS mechanism and handing each newly written run of full
 // blocks to the policy (realloc hook) before it is "committed". On
 // ErrNoSpace the file keeps the bytes that fit and Size reflects them.
-func (fs *FileSystem) Append(f *File, n int64, day int) error {
+// A returned *CorruptionError means the allocator found inconsistent
+// state; the file system is then unspecified until Repair() runs.
+func (fs *FileSystem) Append(f *File, n int64, day int) (err error) {
+	defer recoverCorruption(&err)
 	if n < 0 {
 		panic(fmt.Sprintf("ffs: Append %d bytes", n))
 	}
@@ -271,7 +274,8 @@ func (fs *FileSystem) enterSection(f *File, lbn int) error {
 // contents in one pass (the aging workload's unit of work). On
 // ErrNoSpace the partially written file is removed and the error
 // returned.
-func (fs *FileSystem) CreateFile(dir *File, name string, size int64, day int) (*File, error) {
+func (fs *FileSystem) CreateFile(dir *File, name string, size int64, day int) (f *File, err error) {
+	defer recoverCorruption(&err)
 	if !dir.IsDir {
 		panic("ffs: CreateFile in non-directory")
 	}
@@ -282,7 +286,7 @@ func (fs *FileSystem) CreateFile(dir *File, name string, size int64, day int) (*
 	if err != nil {
 		return nil, err
 	}
-	f := &File{
+	f = &File{
 		Ino:       ino,
 		Name:      name,
 		CreateDay: day,
@@ -304,7 +308,8 @@ func (fs *FileSystem) CreateFile(dir *File, name string, size int64, day int) (*
 }
 
 // Delete removes f (directories must be empty).
-func (fs *FileSystem) Delete(f *File) error {
+func (fs *FileSystem) Delete(f *File) (err error) {
+	defer recoverCorruption(&err)
 	if f.IsDir {
 		if len(f.Entries) > 0 {
 			return fmt.Errorf("ffs: directory %s not empty", f.Path())
@@ -361,7 +366,8 @@ func (fs *FileSystem) freeFileBlocks(f *File, keep int) {
 
 // Truncate shrinks f to newSize bytes, releasing blocks, surplus tail
 // fragments, and orphaned indirect blocks. Growing is done with Append.
-func (fs *FileSystem) Truncate(f *File, newSize int64, day int) error {
+func (fs *FileSystem) Truncate(f *File, newSize int64, day int) (err error) {
+	defer recoverCorruption(&err)
 	if newSize > f.Size {
 		return fmt.Errorf("ffs: Truncate %d > size %d (use Append to grow)", newSize, f.Size)
 	}

@@ -35,6 +35,13 @@ type FileSystem struct {
 	// fits on a 90%-utilized aged image, as in the paper's runs.
 	IgnoreReserve bool
 
+	// FaultHook, when non-nil, is consulted before every block and
+	// fragment allocation; a non-nil error aborts the allocation and is
+	// returned to the caller (without counting as a no-space failure).
+	// Fault plans from internal/faults satisfy this. Clones do not
+	// inherit the hook.
+	FaultHook AllocFaultHook
+
 	// Stats counts allocator events for the ablation reports.
 	Stats AllocStats
 
@@ -43,6 +50,16 @@ type FileSystem struct {
 	// files; see layoutacct.go.
 	layoutOpt   int64
 	layoutTotal int64
+}
+
+// AllocFaultHook is the fault-injection point for the allocator. It is
+// a structural interface so fault plans can live in a package that does
+// not import ffs.
+type AllocFaultHook interface {
+	// BeforeAlloc is called with the number of fragments about to be
+	// allocated. Returning a non-nil error injects that error as the
+	// allocation's failure.
+	BeforeAlloc(frags int) error
 }
 
 // AllocStats counts allocator activity.
@@ -147,7 +164,8 @@ func (fs *FileSystem) CgOf(d Daddr) *CylGroup {
 			return c
 		}
 	}
-	panic(fmt.Sprintf("ffs: daddr %d outside file system", d))
+	throwCorrupt("CgOf", -1, "daddr %d outside file system", d)
+	return nil // unreachable
 }
 
 // cgIndexOf returns the index of the group containing d without a scan
@@ -240,7 +258,7 @@ func (fs *FileSystem) ialloc(prefCg int) (int, error) {
 	}
 	slot := fs.cgs[cg].allocInode()
 	if slot < 0 {
-		panic(fmt.Sprintf("ffs: cg %d nifree>0 but no slot", cg))
+		throwCorrupt("ialloc", cg, "nifree>0 but no slot")
 	}
 	return fs.inoNumber(cg, slot), nil
 }
@@ -293,7 +311,7 @@ func (c *CylGroup) absFrag(idx int) Daddr { return c.startFrag + Daddr(idx) }
 func (c *CylGroup) relFrag(d Daddr) int {
 	idx := int(d - c.startFrag)
 	if idx < 0 || idx >= c.nfrags {
-		panic(fmt.Sprintf("ffs: daddr %d not in cg %d", d, c.Index))
+		throwCorrupt("relFrag", c.Index, "daddr %d not in cg %d", d, c.Index)
 	}
 	return idx
 }

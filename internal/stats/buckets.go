@@ -71,6 +71,15 @@ func (s Series) Final() float64 {
 	return s[len(s)-1].Value
 }
 
+// FinalOr returns the last value of the series, or def when the series
+// is empty (a truncated or zero-day run recorded nothing).
+func (s Series) FinalOr(def float64) float64 {
+	if len(s) == 0 {
+		return def
+	}
+	return s[len(s)-1].Value
+}
+
 // At returns the value recorded for day d, or the nearest earlier day's
 // value; it panics when the series is empty or d precedes the first day.
 func (s Series) At(d int) float64 {
@@ -82,6 +91,24 @@ func (s Series) At(d int) float64 {
 		panic(fmt.Sprintf("stats: day %d precedes series start %d", d, s[0].Day))
 	}
 	return s[i-1].Value
+}
+
+// AtOr is At with a default for an empty series or a day before the
+// series start.
+func (s Series) AtOr(d int, def float64) float64 {
+	if len(s) == 0 || d < s[0].Day {
+		return def
+	}
+	return s.At(d)
+}
+
+// Values returns the series' values in day order.
+func (s Series) Values() []float64 {
+	vals := make([]float64, len(s))
+	for i, p := range s {
+		vals[i] = p.Value
+	}
+	return vals
 }
 
 // MeanValue returns the mean of the series' values.

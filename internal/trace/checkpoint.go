@@ -1,0 +1,208 @@
+package trace
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"hash/fnv"
+	"io"
+	"math"
+)
+
+// Checkpoint format: magic, format version, payload length, payload,
+// CRC-32 (IEEE) of the payload. The length prefix plus trailing
+// checksum means a checkpoint truncated by the very crash it was meant
+// to survive is detected on read rather than resumed from silently.
+//
+// The payload carries the replay cursor and accumulated report series;
+// the file system itself rides along as an opaque image blob
+// (ffs.SaveImage), so this package needs no knowledge of ffs.
+
+var checkpointMagic = [4]byte{'F', 'F', 'C', '1'}
+
+// checkpointVersion is bumped whenever the payload layout changes;
+// readers reject versions they do not know.
+const checkpointVersion = 1
+
+// maxCheckpointPayload bounds how much a reader will buffer; quick-scale
+// images are ~1 MB, full-scale well under this.
+const maxCheckpointPayload = 1 << 31
+
+// Checkpoint is a resumable aging-replay state.
+type Checkpoint struct {
+	Day    int // last fully completed simulated day
+	NextOp int // index of the first operation not yet applied
+
+	SkippedOps int64
+	NoSpaceOps int64
+	FaultedOps int64
+
+	// Per-day series for days 0..Day, in day order.
+	LayoutByDay []float64
+	UtilByDay   []float64
+
+	// WorkloadHash guards against resuming under a different workload;
+	// see HashWorkload.
+	WorkloadHash uint64
+
+	// Image is the serialized file system (ffs.SaveImage).
+	Image []byte
+}
+
+// WriteCheckpoint serializes cp to w.
+func WriteCheckpoint(w io.Writer, cp *Checkpoint) error {
+	var payload bytes.Buffer
+	bw := bufio.NewWriter(&payload)
+	cw := countingWriter{bw}
+	for _, v := range []int64{int64(cp.Day), int64(cp.NextOp), cp.SkippedOps, cp.NoSpaceOps, cp.FaultedOps} {
+		if err := cw.sv(v); err != nil {
+			return err
+		}
+	}
+	if err := cw.uv(cp.WorkloadHash); err != nil {
+		return err
+	}
+	for _, series := range [][]float64{cp.LayoutByDay, cp.UtilByDay} {
+		if err := cw.uv(uint64(len(series))); err != nil {
+			return err
+		}
+		for _, v := range series {
+			if err := cw.f64(v); err != nil {
+				return err
+			}
+		}
+	}
+	if err := cw.uv(uint64(len(cp.Image))); err != nil {
+		return err
+	}
+	if _, err := bw.Write(cp.Image); err != nil {
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+
+	out := bufio.NewWriter(w)
+	if _, err := out.Write(checkpointMagic[:]); err != nil {
+		return err
+	}
+	ocw := countingWriter{out}
+	if err := ocw.uv(checkpointVersion); err != nil {
+		return err
+	}
+	if err := ocw.uv(uint64(payload.Len())); err != nil {
+		return err
+	}
+	if _, err := out.Write(payload.Bytes()); err != nil {
+		return err
+	}
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(payload.Bytes()))
+	if _, err := out.Write(crc[:]); err != nil {
+		return err
+	}
+	return out.Flush()
+}
+
+// ReadCheckpoint deserializes and verifies a checkpoint. A truncated,
+// corrupted, or future-versioned checkpoint is an error; the caller
+// should fall back to an earlier checkpoint or a fresh run.
+func ReadCheckpoint(r io.Reader) (*Checkpoint, error) {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading checkpoint magic: %w", err)
+	}
+	if magic != checkpointMagic {
+		return nil, fmt.Errorf("trace: bad checkpoint magic %q", magic[:])
+	}
+	rd := reader{br}
+	version, err := rd.uv()
+	if err != nil {
+		return nil, fmt.Errorf("trace: checkpoint version: %w", err)
+	}
+	if version != checkpointVersion {
+		return nil, fmt.Errorf("trace: checkpoint version %d not supported (want %d)", version, checkpointVersion)
+	}
+	plen, err := rd.uv()
+	if err != nil {
+		return nil, fmt.Errorf("trace: checkpoint length: %w", err)
+	}
+	if plen > maxCheckpointPayload {
+		return nil, fmt.Errorf("trace: implausible checkpoint payload %d bytes", plen)
+	}
+	payload := make([]byte, plen)
+	if _, err := io.ReadFull(br, payload); err != nil {
+		return nil, fmt.Errorf("trace: checkpoint truncated: %w", err)
+	}
+	var crcBuf [4]byte
+	if _, err := io.ReadFull(br, crcBuf[:]); err != nil {
+		return nil, fmt.Errorf("trace: checkpoint checksum missing: %w", err)
+	}
+	want := binary.LittleEndian.Uint32(crcBuf[:])
+	if got := crc32.ChecksumIEEE(payload); got != want {
+		return nil, fmt.Errorf("trace: checkpoint checksum mismatch (%08x != %08x)", got, want)
+	}
+
+	prd := reader{bufio.NewReader(bytes.NewReader(payload))}
+	cp := &Checkpoint{}
+	var vals [5]int64
+	for i := range vals {
+		if vals[i], err = prd.sv(); err != nil {
+			return nil, fmt.Errorf("trace: checkpoint field %d: %w", i, err)
+		}
+	}
+	day, nextOp := vals[0], vals[1]
+	cp.SkippedOps, cp.NoSpaceOps, cp.FaultedOps = vals[2], vals[3], vals[4]
+	if day < -1 || day > maxDays || nextOp < 0 || nextOp > math.MaxInt32 {
+		return nil, fmt.Errorf("trace: checkpoint cursor (day %d, op %d) out of range", day, nextOp)
+	}
+	cp.Day, cp.NextOp = int(day), int(nextOp)
+	if cp.WorkloadHash, err = prd.uv(); err != nil {
+		return nil, fmt.Errorf("trace: checkpoint workload hash: %w", err)
+	}
+	for i, series := range []*[]float64{&cp.LayoutByDay, &cp.UtilByDay} {
+		n, err := prd.uv()
+		if err != nil {
+			return nil, fmt.Errorf("trace: checkpoint series %d: %w", i, err)
+		}
+		if n > maxDays+1 {
+			return nil, fmt.Errorf("trace: checkpoint series %d has %d entries", i, n)
+		}
+		s := make([]float64, 0, n)
+		for j := uint64(0); j < n; j++ {
+			v, err := prd.f64()
+			if err != nil {
+				return nil, fmt.Errorf("trace: checkpoint series %d entry %d: %w", i, j, err)
+			}
+			s = append(s, v)
+		}
+		*series = s
+	}
+	ilen, err := prd.uv()
+	if err != nil {
+		return nil, fmt.Errorf("trace: checkpoint image length: %w", err)
+	}
+	if ilen > plen {
+		return nil, fmt.Errorf("trace: checkpoint image length %d exceeds payload", ilen)
+	}
+	cp.Image = make([]byte, ilen)
+	if _, err := io.ReadFull(prd.r, cp.Image); err != nil {
+		return nil, fmt.Errorf("trace: checkpoint image truncated: %w", err)
+	}
+	return cp, nil
+}
+
+// HashWorkload returns a stable fingerprint of a workload (FNV-64a over
+// its binary encoding), stored in checkpoints so a resume under a
+// different workload is refused instead of silently diverging.
+func HashWorkload(wl *Workload) uint64 {
+	h := fnv.New64a()
+	if err := WriteWorkload(h, wl); err != nil {
+		// Writing to a hash cannot fail; keep the signature clean.
+		panic(err)
+	}
+	return h.Sum64()
+}

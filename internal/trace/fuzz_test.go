@@ -1,0 +1,80 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzWorkloadTextRoundTrip feeds arbitrary text to the workload
+// parser. The parser must never panic; when it accepts the input, the
+// parse→write→parse→write cycle must be idempotent (the second write
+// byte-identical to the first), which pins down silent data loss —
+// fields dropped, reordered, or re-rounded on the way through.
+func FuzzWorkloadTextRoundTrip(f *testing.F) {
+	var seed bytes.Buffer
+	if err := WriteWorkloadText(&seed, sampleWorkload()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.String())
+	f.Add("# ffsage workload days=3\n0 1.000 create 5 2 4096\n")
+	f.Add("0 1.000 create 5 2 4096 short\n")
+	f.Add("0 1.0 delete 5 2 0\n\n# comment\n")
+	f.Add("0 NaN create 1 1 1\n")
+	f.Add("0 1.0 create 1 1 -5\n")
+	f.Add("-1 1.0 create 1 1 1\n")
+	f.Add("0 1.0 create 1 1 1 shorty\n")
+	f.Add("# days=99999999999\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		wl, err := ReadWorkloadText(strings.NewReader(input))
+		if err != nil {
+			return // rejecting is fine; panicking is not
+		}
+		var first bytes.Buffer
+		if err := WriteWorkloadText(&first, wl); err != nil {
+			t.Fatalf("writing accepted workload: %v", err)
+		}
+		wl2, err := ReadWorkloadText(bytes.NewReader(first.Bytes()))
+		if err != nil {
+			t.Fatalf("own output rejected: %v\n%s", err, first.String())
+		}
+		var second bytes.Buffer
+		if err := WriteWorkloadText(&second, wl2); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(first.Bytes(), second.Bytes()) {
+			t.Fatalf("text codec not idempotent:\nfirst:\n%s\nsecond:\n%s", first.String(), second.String())
+		}
+	})
+}
+
+// FuzzReadWorkload feeds arbitrary bytes to the binary workload reader:
+// it must reject or accept without panicking or over-allocating.
+func FuzzReadWorkload(f *testing.F) {
+	var seed bytes.Buffer
+	if err := WriteWorkload(&seed, sampleWorkload()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.Bytes())
+	f.Add([]byte("FFW1"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, input []byte) {
+		_, _ = ReadWorkload(bytes.NewReader(input))
+	})
+}
+
+// FuzzReadCheckpoint feeds arbitrary bytes to the checkpoint reader:
+// anything that is not a well-formed, checksummed checkpoint must be
+// rejected without panicking.
+func FuzzReadCheckpoint(f *testing.F) {
+	var seed bytes.Buffer
+	if err := WriteCheckpoint(&seed, sampleCheckpoint()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.Bytes())
+	f.Add([]byte("FFC1"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, input []byte) {
+		_, _ = ReadCheckpoint(bytes.NewReader(input))
+	})
+}

@@ -4,9 +4,14 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 )
+
+// maxDays bounds the day fields a text workload may carry; beyond it
+// the input is surely malformed (the paper's runs span 300 days).
+const maxDays = 1 << 20
 
 // WriteWorkloadText emits the workload in a line-oriented text format
 // for inspection and diffing:
@@ -53,21 +58,30 @@ func ReadWorkloadText(r io.Reader) (*Workload, error) {
 				if err != nil {
 					return nil, fmt.Errorf("trace: line %d: bad days: %w", lineNo, err)
 				}
+				if d < 0 || d > maxDays {
+					return nil, fmt.Errorf("trace: line %d: days %d out of range [0,%d]", lineNo, d, maxDays)
+				}
 				wl.Days = d
 			}
 			continue
 		}
 		f := strings.Fields(line)
-		if len(f) < 6 {
-			return nil, fmt.Errorf("trace: line %d: %d fields", lineNo, len(f))
+		if len(f) < 6 || len(f) > 7 {
+			return nil, fmt.Errorf("trace: line %d: %d fields, want 6 or 7", lineNo, len(f))
 		}
 		var op Op
 		var err error
 		if op.Day, err = strconv.Atoi(f[0]); err != nil {
 			return nil, fmt.Errorf("trace: line %d day: %w", lineNo, err)
 		}
+		if op.Day < 0 || op.Day > maxDays {
+			return nil, fmt.Errorf("trace: line %d: day %d out of range [0,%d]", lineNo, op.Day, maxDays)
+		}
 		if op.Sec, err = strconv.ParseFloat(f[1], 64); err != nil {
 			return nil, fmt.Errorf("trace: line %d sec: %w", lineNo, err)
+		}
+		if math.IsNaN(op.Sec) || math.IsInf(op.Sec, 0) || op.Sec < 0 {
+			return nil, fmt.Errorf("trace: line %d: sec %v not a non-negative finite time", lineNo, op.Sec)
 		}
 		switch f[2] {
 		case "create":
@@ -85,10 +99,21 @@ func ReadWorkloadText(r io.Reader) (*Workload, error) {
 		if op.Cg, err = strconv.Atoi(f[4]); err != nil {
 			return nil, fmt.Errorf("trace: line %d cg: %w", lineNo, err)
 		}
+		if op.Cg < 0 {
+			return nil, fmt.Errorf("trace: line %d: negative cg %d", lineNo, op.Cg)
+		}
 		if op.Size, err = strconv.ParseInt(f[5], 10, 64); err != nil {
 			return nil, fmt.Errorf("trace: line %d size: %w", lineNo, err)
 		}
-		op.ShortLived = len(f) > 6 && f[6] == "short"
+		if op.Size < 0 {
+			return nil, fmt.Errorf("trace: line %d: negative size %d", lineNo, op.Size)
+		}
+		if len(f) == 7 {
+			if f[6] != "short" {
+				return nil, fmt.Errorf("trace: line %d: unknown trailing field %q", lineNo, f[6])
+			}
+			op.ShortLived = true
+		}
 		wl.Ops = append(wl.Ops, op)
 	}
 	if err := sc.Err(); err != nil {
