@@ -1,0 +1,18 @@
+// Command ffsvet checks the repository's determinism, error-discipline,
+// and panic-freedom invariants (see internal/analysis). Run it
+// standalone over package patterns, or hand it to cmd/go for full
+// coverage including test files:
+//
+//	go build -o bin/ffsvet ./cmd/ffsvet
+//	go vet -vettool=bin/ffsvet ./...
+package main
+
+import (
+	"os"
+
+	"ffsage/internal/analysis"
+)
+
+func main() {
+	os.Exit(analysis.Main(os.Args[1:]))
+}

@@ -1,0 +1,68 @@
+package analysis
+
+import (
+	"testing"
+)
+
+func TestDetrandFixtures(t *testing.T) {
+	a := Detrand(DetrandConfig{
+		Packages: []string{"detrand/a", "detrand/bench"},
+		TimeOK:   []string{"detrand/bench"},
+	})
+	for _, path := range []string{"detrand/a", "detrand/bench", "detrand/other"} {
+		t.Run(path, func(t *testing.T) { runFixture(t, a, path) })
+	}
+}
+
+func TestMaporderFixtures(t *testing.T) {
+	runFixture(t, Maporder(), "maporder/a")
+}
+
+func TestCheckedCorruptionFixtures(t *testing.T) {
+	a := CheckedCorruption(CheckedCorruptionConfig{Packages: []string{"checkedcorruption/ffs"}})
+	runFixture(t, a, "checkedcorruption/a")
+}
+
+func TestNopanicFixtures(t *testing.T) {
+	a := Nopanic(NopanicConfig{AllowFiles: []string{"nopanic/a/corrupt.go"}})
+	for _, path := range []string{"nopanic/a", "nopanic/mainpkg"} {
+		t.Run(path, func(t *testing.T) { runFixture(t, a, path) })
+	}
+}
+
+func TestPkgPathOf(t *testing.T) {
+	cases := map[string]string{
+		"ffsage/internal/ffs":                                 "ffsage/internal/ffs",
+		"ffsage/internal/ffs [ffsage/internal/ffs.test]":      "ffsage/internal/ffs",
+		"ffsage/internal/ffs_test [ffsage/internal/ffs.test]": "ffsage/internal/ffs",
+		"ffsage_test": "ffsage",
+	}
+	for in, want := range cases {
+		if got := PkgPathOf(in); got != want {
+			t.Errorf("PkgPathOf(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestRepoIsClean runs the default suite over the whole module's
+// non-test sources, pinning the acceptance criterion — ffsvet passes
+// clean on its own tree — into the ordinary test tier. (The vettool
+// path in CI additionally covers test files.)
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns go list -export over the whole module")
+	}
+	pkgs, err := LoadPatterns("../..", []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("loaded no packages")
+	}
+	suite := DefaultSuite()
+	for _, pkg := range pkgs {
+		for _, d := range Run(pkg, suite) {
+			t.Errorf("%s", d)
+		}
+	}
+}

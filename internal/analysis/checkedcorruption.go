@@ -1,0 +1,117 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CheckedCorruptionConfig names the packages whose error returns carry
+// *ffs.CorruptionError and therefore must never be dropped.
+type CheckedCorruptionConfig struct {
+	Packages []string
+}
+
+// DefaultCheckedCorruptionConfig guards the mutating ffs API: every
+// exported mutator recovers in-flight corruption panics into a returned
+// *CorruptionError, so a discarded error is a corrupted file system
+// silently replayed onward.
+func DefaultCheckedCorruptionConfig() CheckedCorruptionConfig {
+	return CheckedCorruptionConfig{Packages: []string{"ffsage/internal/ffs"}}
+}
+
+// CheckedCorruption builds the error-discipline analyzer: a call to a
+// function or method of one of cfg.Packages whose final result is an
+// error must not appear as a bare statement (or go/defer statement),
+// and the error position of a multi-assign must not be the blank
+// identifier. Test files are exempt — test helpers assert through the
+// testing.T — but non-test code in every package, including cmd/ and
+// examples/, is checked.
+func CheckedCorruption(cfg CheckedCorruptionConfig) *Analyzer {
+	guarded := map[string]bool{}
+	for _, p := range cfg.Packages {
+		guarded[p] = true
+	}
+	return &Analyzer{
+		Name: "checkedcorruption",
+		Doc:  "forbid discarding errors returned by the corruption-carrying ffs API",
+		Run: func(pass *Pass) {
+			for _, f := range pass.Files {
+				if pass.InTestFile(f.Package) {
+					continue
+				}
+				ast.Inspect(f, func(n ast.Node) bool {
+					switch n := n.(type) {
+					case *ast.ExprStmt:
+						reportDroppedError(pass, guarded, n.X, "discarded")
+					case *ast.GoStmt:
+						reportDroppedError(pass, guarded, n.Call, "discarded by go statement")
+					case *ast.DeferStmt:
+						reportDroppedError(pass, guarded, n.Call, "discarded by defer")
+					case *ast.AssignStmt:
+						checkBlankError(pass, guarded, n)
+					}
+					return true
+				})
+			}
+		},
+	}
+}
+
+// errFunc returns the called guarded function when call's final result
+// is an error, else nil.
+func errFunc(pass *Pass, guarded map[string]bool, call *ast.CallExpr) *types.Func {
+	fn := pass.Callee(call)
+	if fn == nil || fn.Pkg() == nil || !guarded[fn.Pkg().Path()] {
+		return nil
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Results().Len() == 0 {
+		return nil
+	}
+	last := sig.Results().At(sig.Results().Len() - 1).Type()
+	if !types.Implements(last, errorInterface()) {
+		return nil
+	}
+	return fn
+}
+
+var errIface *types.Interface
+
+func errorInterface() *types.Interface {
+	if errIface == nil {
+		errIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	}
+	return errIface
+}
+
+func reportDroppedError(pass *Pass, guarded map[string]bool, expr ast.Expr, how string) {
+	call, ok := ast.Unparen(expr).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	if fn := errFunc(pass, guarded, call); fn != nil {
+		pass.Reportf(call.Pos(), "error result of %s %s; handle it — a dropped *ffs.CorruptionError leaves the image silently corrupt (detect with errors.As, mend with Repair)", fn.FullName(), how)
+	}
+}
+
+// checkBlankError flags `v, _ := pkg.Mutate(...)` where the blank slot
+// is the trailing error of a guarded call. Single-call multi-assign
+// only: tuple-unpacking is the only way a guarded error lands in an
+// explicit blank.
+func checkBlankError(pass *Pass, guarded map[string]bool, as *ast.AssignStmt) {
+	if len(as.Rhs) != 1 || len(as.Lhs) < 2 {
+		return
+	}
+	call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	fn := errFunc(pass, guarded, call)
+	if fn == nil {
+		return
+	}
+	last, ok := as.Lhs[len(as.Lhs)-1].(*ast.Ident)
+	if ok && last.Name == "_" {
+		pass.Reportf(last.Pos(), "error result of %s assigned to _; handle it — a dropped *ffs.CorruptionError leaves the image silently corrupt (detect with errors.As, mend with Repair)", fn.FullName())
+	}
+}

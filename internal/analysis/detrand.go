@@ -1,0 +1,122 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// DetrandConfig scopes the determinism check. Packages is the set of
+// import paths (normalized per PkgPathOf, so tests of a listed package
+// are covered too) in which replay determinism is load-bearing; TimeOK
+// is the subset that may read the wall clock (benchmark harnesses
+// report real elapsed time) but must still keep randomness seeded.
+type DetrandConfig struct {
+	Packages []string
+	TimeOK   []string
+}
+
+// DefaultDetrandConfig covers the packages whose state feeds the
+// byte-identical replay guarantee, plus the benchmark tier which may
+// time itself but must not perturb workloads. internal/runner is
+// deliberately absent: its telemetry (per-job wall-clock timings) is
+// reporting, not replay state.
+func DefaultDetrandConfig() DetrandConfig {
+	return DetrandConfig{
+		Packages: []string{
+			"ffsage/internal/ffs",
+			"ffsage/internal/aging",
+			"ffsage/internal/workload",
+			"ffsage/internal/trace",
+			"ffsage/internal/faults",
+			"ffsage/internal/bitset",
+			"ffsage/internal/core",
+			"ffsage/internal/disk",
+			"ffsage/internal/layout",
+			"ffsage/internal/stats",
+			"ffsage/internal/experiments",
+			"ffsage/internal/bench",
+			"ffsage",
+		},
+		TimeOK: []string{
+			"ffsage/internal/bench",
+			"ffsage",
+		},
+	}
+}
+
+// randConstructors are the math/rand and math/rand/v2 functions that
+// build explicitly seeded generators rather than consulting the global
+// one; everything else at package level is forbidden in deterministic
+// packages.
+var randConstructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true,
+	"NewChaCha8": true,
+}
+
+// timeForbidden are the time functions that read the wall clock (or
+// schedule on it) and therefore differ run to run.
+var timeForbidden = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Tick":      true,
+	"After":     true,
+	"AfterFunc": true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+// Detrand builds the determinism analyzer: inside cfg.Packages, every
+// random draw must come through an injected seeded *rand.Rand — global
+// math/rand functions are forbidden — and the wall clock is off limits
+// outside cfg.TimeOK.
+func Detrand(cfg DetrandConfig) *Analyzer {
+	inSet := func(list []string, path string) bool {
+		for _, p := range list {
+			if p == path {
+				return true
+			}
+		}
+		return false
+	}
+	return &Analyzer{
+		Name: "detrand",
+		Doc:  "forbid global math/rand and wall-clock reads in deterministic packages",
+		Run: func(pass *Pass) {
+			path := PkgPathOf(pass.Pkg.Path())
+			if !inSet(cfg.Packages, path) {
+				return
+			}
+			timeOK := inSet(cfg.TimeOK, path)
+			for _, f := range pass.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					fn := pass.Callee(call)
+					if fn == nil || fn.Pkg() == nil {
+						return true
+					}
+					if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+						return true // methods (e.g. (*rand.Rand).Intn) are fine
+					}
+					switch fn.Pkg().Path() {
+					case "math/rand", "math/rand/v2":
+						if !randConstructors[fn.Name()] {
+							pass.Reportf(call.Pos(), "%s.%s draws from the process-global generator and breaks replay determinism; thread the replay's seeded *rand.Rand here instead", fn.Pkg().Name(), fn.Name())
+						}
+					case "time":
+						if !timeOK && timeForbidden[fn.Name()] {
+							pass.Reportf(call.Pos(), "time.%s reads the wall clock and breaks replay determinism; derive time from the simulated day counter, or keep timing in telemetry packages like internal/runner", fn.Name())
+						}
+					}
+					return true
+				})
+			}
+		},
+	}
+}

@@ -1,0 +1,111 @@
+package analysis
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// Suite instantiates the full analyzer suite from the given configs.
+func Suite(dr DetrandConfig, cc CheckedCorruptionConfig, np NopanicConfig) []*Analyzer {
+	return []*Analyzer{
+		Detrand(dr),
+		Maporder(),
+		CheckedCorruption(cc),
+		Nopanic(np),
+	}
+}
+
+// DefaultSuite is the suite with the repository's sanctioned
+// configuration — what CI enforces.
+func DefaultSuite() []*Analyzer {
+	return Suite(DefaultDetrandConfig(), DefaultCheckedCorruptionConfig(), DefaultNopanicConfig())
+}
+
+// Main implements cmd/ffsvet. Two modes share the analyzers:
+//
+//   - vettool: `go vet -vettool=$(which ffsvet) ./...` — cmd/go drives
+//     the tool per package (including test files) through the
+//     unitchecker protocol; this is what CI runs.
+//   - standalone: `ffsvet [patterns]` — loads matching packages via
+//     `go list -export` and analyzes their non-test sources directly.
+//
+// Returns the process exit code.
+func Main(args []string) int {
+	// The -V=full and -flags handshakes arrive before flag parsing and
+	// must produce exactly one line on stdout.
+	for _, a := range args {
+		switch a {
+		case "-V=full", "--V=full":
+			fmt.Println(VersionString())
+			return 0
+		case "-flags", "--flags":
+			fmt.Println("[]")
+			return 0
+		}
+	}
+
+	fs := flag.NewFlagSet("ffsvet", flag.ContinueOnError)
+	dr := DefaultDetrandConfig()
+	cc := DefaultCheckedCorruptionConfig()
+	np := DefaultNopanicConfig()
+	csv := func(p *[]string, name, usage string) {
+		def := strings.Join(*p, ",")
+		fs.Func(name, usage+" (comma-separated; default "+def+")", func(v string) error {
+			*p = splitCSV(v)
+			return nil
+		})
+	}
+	csv(&dr.Packages, "detrand.pkgs", "packages where global rand and wall-clock reads are forbidden")
+	csv(&dr.TimeOK, "detrand.timeok", "subset of detrand.pkgs that may read the wall clock")
+	csv(&cc.Packages, "checkedcorruption.pkgs", "packages whose returned errors must be handled")
+	csv(&np.AllowFiles, "nopanic.allow", "file suffixes sanctioned to panic")
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: ffsvet [flags] [package patterns]\n")
+		fmt.Fprintf(fs.Output(), "       go vet -vettool=$(which ffsvet) ./...\n\nAnalyzers:\n")
+		for _, a := range DefaultSuite() {
+			fmt.Fprintf(fs.Output(), "  ffsvet/%-18s %s\n", a.Name, a.Doc)
+		}
+		fmt.Fprintf(fs.Output(), "\nSuppress a finding with a justified comment on the line or the line above:\n")
+		fmt.Fprintf(fs.Output(), "  //lint:ignore ffsvet/<name> reason\n\nFlags:\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	analyzers := Suite(dr, cc, np)
+
+	rest := fs.Args()
+	if len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {
+		return RunVetTool(rest[0], analyzers)
+	}
+
+	patterns := rest
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := LoadPatterns(".", patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ffsvet: %v\n", err)
+		return 2
+	}
+	exit := 0
+	for _, pkg := range pkgs {
+		for _, d := range Run(pkg, analyzers) {
+			fmt.Fprintln(os.Stderr, d)
+			exit = 1
+		}
+	}
+	return exit
+}
+
+func splitCSV(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}

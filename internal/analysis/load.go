@@ -1,0 +1,168 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+)
+
+// An ExportImporter resolves imports against compiler export data, the
+// way cmd/vet does: importMap translates source import paths to
+// canonical package paths, exports maps those to export-data files
+// produced by the gc compiler (vet.cfg PackageFile, or go list -export).
+type ExportImporter struct {
+	inner types.ImporterFrom
+}
+
+// NewExportImporter builds an importer over the given tables. A nil
+// importMap means the identity mapping.
+func NewExportImporter(fset *token.FileSet, importMap, exports map[string]string) *ExportImporter {
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := importMap[path]; ok {
+			path = mapped
+		}
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	return &ExportImporter{inner: importer.ForCompiler(fset, "gc", lookup).(types.ImporterFrom)}
+}
+
+func (ei *ExportImporter) Import(path string) (*types.Package, error) {
+	return ei.inner.ImportFrom(path, "", 0)
+}
+
+// TypeCheck parses nothing itself: it type-checks already-parsed files
+// into a Package ready for Run.
+func TypeCheck(fset *token.FileSet, path, goVersion string, files []*ast.File, imp types.Importer) (*Package, error) {
+	info := NewInfo()
+	conf := types.Config{
+		Importer:  imp,
+		Sizes:     types.SizesFor("gc", envOr("GOARCH", runtime.GOARCH)),
+		GoVersion: goVersion,
+	}
+	tpkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	return &Package{Path: path, Fset: fset, Files: files, Types: tpkg, Info: info}, nil
+}
+
+func envOr(key, fallback string) string {
+	if v := os.Getenv(key); v != "" {
+		return v
+	}
+	return fallback
+}
+
+// ParseFiles parses the named files (absolute paths) with comments,
+// which the suppression scanner needs.
+func ParseFiles(fset *token.FileSet, filenames []string) ([]*ast.File, error) {
+	var files []*ast.File
+	for _, name := range filenames {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// listedPackage is the subset of `go list -json` output the loader
+// consumes.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	DepOnly    bool
+}
+
+// LoadPatterns loads the non-test compilation of every package matching
+// the go list patterns, type-checked against fresh gc export data.
+// Test files are covered by the `go vet -vettool` path, which receives
+// them from cmd/go; the standalone loader keeps to the production
+// sources.
+func LoadPatterns(dir string, patterns []string) ([]*Package, error) {
+	args := append([]string{
+		"list", "-export", "-deps",
+		"-json=ImportPath,Dir,Name,Export,GoFiles,Standard,DepOnly",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
+	}
+
+	exports := map[string]string{}
+	var targets []*listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list output: %v", err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly && !p.Standard {
+			targets = append(targets, &p)
+		}
+	}
+
+	var pkgs []*Package
+	for _, t := range targets {
+		if len(t.GoFiles) == 0 {
+			continue
+		}
+		fset := token.NewFileSet()
+		var filenames []string
+		for _, f := range t.GoFiles {
+			filenames = append(filenames, filepath.Join(t.Dir, f))
+		}
+		files, err := ParseFiles(fset, filenames)
+		if err != nil {
+			return nil, err
+		}
+		pkg, err := TypeCheck(fset, t.ImportPath, goVersionOf(dir), files, NewExportImporter(fset, nil, exports))
+		if err != nil {
+			return nil, fmt.Errorf("%s: %v", t.ImportPath, err)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// goVersionOf asks go list for the module's language version so the
+// type-checker matches the build.
+func goVersionOf(dir string) string {
+	cmd := exec.Command("go", "list", "-m", "-f", "{{.GoVersion}}")
+	cmd.Dir = dir
+	out, err := cmd.Output()
+	v := strings.TrimSpace(string(out))
+	if err != nil || v == "" {
+		return ""
+	}
+	return "go" + v
+}

@@ -1,0 +1,174 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Maporder flags `range` over a map whose loop body makes iteration
+// order observable: writing to an io.Writer or fmt printer, calling an
+// emit/report-style function, or appending to a slice that outlives the
+// loop. Go randomizes map iteration order per run, so any of these
+// silently breaks the byte-identical-report guarantee. The sanctioned
+// idiom — collect keys, sort, range the sorted slice — is recognized:
+// an append whose slice is later passed to sort.*/slices.Sort* is not
+// flagged.
+func Maporder() *Analyzer {
+	return &Analyzer{
+		Name: "maporder",
+		Doc:  "flag map iterations whose order leaks into output or accumulated slices",
+		Run:  runMaporder,
+	}
+}
+
+func runMaporder(pass *Pass) {
+	for _, f := range pass.Files {
+		// The node stack gives each range statement its enclosing
+		// function body, where the collect-then-sort idiom is sought.
+		var stack []ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			if rs, ok := n.(*ast.RangeStmt); ok {
+				checkMapRange(pass, rs, enclosingBody(stack))
+			}
+			stack = append(stack, n)
+			return true
+		})
+	}
+}
+
+// enclosingBody returns the body of the innermost function on the
+// traversal stack.
+func enclosingBody(stack []ast.Node) *ast.BlockStmt {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch fn := stack[i].(type) {
+		case *ast.FuncDecl:
+			return fn.Body
+		case *ast.FuncLit:
+			return fn.Body
+		}
+	}
+	return nil
+}
+
+// checkMapRange reports order-sensitive effects inside rs when rs
+// ranges over a map.
+func checkMapRange(pass *Pass, rs *ast.RangeStmt, enclosing *ast.BlockStmt) {
+	tv, ok := pass.TypesInfo.Types[rs.X]
+	if !ok {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if fn := pass.Callee(n); fn != nil && emitsOutput(fn) {
+				pass.Reportf(n.Pos(), "%s inside range over a map makes iteration order observable; iterate deterministically: range over slices.Sorted(maps.Keys(m)) instead of the map", fn.FullName())
+			}
+		case *ast.AssignStmt:
+			checkOrderedAppend(pass, rs, n, enclosing)
+		}
+		return true
+	})
+}
+
+// emitsOutput reports whether fn writes somewhere a reader can see
+// ordering: fmt printers, io.Writer-shaped methods, or emit/report
+// helpers by name.
+func emitsOutput(fn *types.Func) bool {
+	name := fn.Name()
+	if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		return strings.HasPrefix(name, "Print") || strings.HasPrefix(name, "Fprint")
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		switch name {
+		case "Write", "WriteString", "WriteByte", "WriteRune", "WriteTo",
+			"Print", "Printf", "Println", "Encode":
+			return true
+		}
+	}
+	lower := strings.ToLower(name)
+	return strings.Contains(lower, "emit") || strings.Contains(lower, "report")
+}
+
+// checkOrderedAppend flags `dst = append(dst, ...)` inside a map range
+// when dst is declared outside the loop and is not sorted afterwards in
+// the same function.
+func checkOrderedAppend(pass *Pass, rs *ast.RangeStmt, as *ast.AssignStmt, enclosing *ast.BlockStmt) {
+	for i, rhs := range as.Rhs {
+		call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+		if !ok || !isBuiltinAppend(pass, call) || i >= len(as.Lhs) {
+			continue
+		}
+		dst := as.Lhs[i]
+		if declaredWithin(pass, dst, rs) {
+			continue
+		}
+		if enclosing != nil && sortedAfter(pass, dst, rs, enclosing) {
+			continue
+		}
+		name := types.ExprString(dst)
+		pass.Reportf(as.Pos(), "%s accumulates elements in map-iteration order; sort %s after the loop, or range over slices.Sorted(maps.Keys(m)) instead of the map", name, name)
+	}
+}
+
+func isBuiltinAppend(pass *Pass, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := pass.TypesInfo.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// declaredWithin reports whether expr is (or is rooted at) a variable
+// declared inside the range statement, in which case the accumulated
+// order cannot escape the loop through it.
+func declaredWithin(pass *Pass, expr ast.Expr, rs *ast.RangeStmt) bool {
+	id, ok := ast.Unparen(expr).(*ast.Ident)
+	if !ok {
+		return false // selector/index targets necessarily outlive the loop
+	}
+	obj := pass.TypesInfo.ObjectOf(id)
+	return obj != nil && rs.Pos() <= obj.Pos() && obj.Pos() < rs.End()
+}
+
+// sortFuncs are the std sorters that make a collected key slice safe.
+var sortFuncs = map[string]map[string]bool{
+	"sort":   {"Strings": true, "Ints": true, "Float64s": true, "Slice": true, "SliceStable": true, "Sort": true, "Stable": true},
+	"slices": {"Sort": true, "SortFunc": true, "SortStableFunc": true},
+}
+
+// sortedAfter reports whether dst is passed to a sorting function after
+// the range statement, anywhere later in the enclosing function body —
+// the collect-then-sort idiom.
+func sortedAfter(pass *Pass, dst ast.Expr, rs *ast.RangeStmt, enclosing *ast.BlockStmt) bool {
+	want := types.ExprString(dst)
+	found := false
+	ast.Inspect(enclosing, func(n ast.Node) bool {
+		if found || n == nil || n.Pos() <= rs.End() {
+			return !found
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		fn := pass.Callee(call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		if names := sortFuncs[fn.Pkg().Path()]; names != nil && names[fn.Name()] {
+			if types.ExprString(call.Args[0]) == want {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

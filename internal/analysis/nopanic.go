@@ -1,0 +1,82 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"path/filepath"
+	"strings"
+)
+
+// NopanicConfig scopes the panic-freedom check. AllowFiles are path
+// suffixes (slash-separated) of files sanctioned to panic — the
+// deliberate-corruption path. Main packages and _test.go files are
+// always exempt.
+type NopanicConfig struct {
+	AllowFiles []string
+}
+
+// DefaultNopanicConfig sanctions only internal/ffs/corrupt.go, the
+// deliberate corruption-injection path.
+func DefaultNopanicConfig() NopanicConfig {
+	return NopanicConfig{AllowFiles: []string{"internal/ffs/corrupt.go"}}
+}
+
+// processKillers are the std functions that terminate the process and
+// so must not be reachable from library code; the decision to die
+// belongs to main.
+var processKillers = map[string]map[string]bool{
+	"log": {"Fatal": true, "Fatalf": true, "Fatalln": true, "Panic": true, "Panicf": true, "Panicln": true},
+	"os":  {"Exit": true},
+}
+
+// Nopanic builds the panic-freedom analyzer: library packages must
+// surface failures as errors (corruption via throwCorrupt, recovered at
+// the exported-API boundary into *ffs.CorruptionError), not by calling
+// panic, log.Fatal*, log.Panic*, or os.Exit. Precondition panics that
+// guard against caller bugs are expected to carry an explicit
+// //lint:ignore ffsvet/nopanic justification.
+func Nopanic(cfg NopanicConfig) *Analyzer {
+	allowed := func(filename string) bool {
+		slashed := filepath.ToSlash(filename)
+		for _, suffix := range cfg.AllowFiles {
+			if strings.HasSuffix(slashed, suffix) {
+				return true
+			}
+		}
+		return false
+	}
+	return &Analyzer{
+		Name: "nopanic",
+		Doc:  "forbid panic and process-terminating calls in library packages",
+		Run: func(pass *Pass) {
+			if pass.Pkg.Name() == "main" {
+				return
+			}
+			for _, f := range pass.Files {
+				if pass.InTestFile(f.Package) || allowed(pass.Fset.Position(f.Package).Filename) {
+					continue
+				}
+				ast.Inspect(f, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+						if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok && b.Name() == "panic" {
+							pass.Reportf(call.Pos(), "panic in library package %s kills every caller; return an error instead (use throwCorrupt for on-disk invariant breaches — it surfaces as *ffs.CorruptionError)", pass.Pkg.Path())
+						}
+						return true
+					}
+					if fn := pass.Callee(call); fn != nil && fn.Pkg() != nil {
+						if names := processKillers[fn.Pkg().Path()]; names != nil && names[fn.Name()] {
+							if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() == nil {
+								pass.Reportf(call.Pos(), "%s.%s terminates the process from library package %s; return the error and let main decide", fn.Pkg().Name(), fn.Name(), pass.Pkg.Path())
+							}
+						}
+					}
+					return true
+				})
+			}
+		},
+	}
+}

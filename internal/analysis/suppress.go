@@ -1,0 +1,74 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// A suppression is one well-formed //lint:ignore comment: the set of
+// analyzer names it silences and the line it is written on. It covers
+// findings on its own line (end-of-line form) and on the line directly
+// below (comment-above form).
+type suppression struct {
+	checks map[string]bool // bare analyzer names
+}
+
+type suppressionSet map[string]map[int]*suppression // filename -> line
+
+func (s suppressionSet) covers(d Diagnostic) bool {
+	lines := s[d.Pos.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, line := range [2]int{d.Pos.Line, d.Pos.Line - 1} {
+		if sup := lines[line]; sup != nil && sup.checks[d.Analyzer] {
+			return true
+		}
+	}
+	return false
+}
+
+// collectSuppressions scans every comment of every file for
+// "//lint:ignore <checks> <reason>" directives. Checks is a
+// comma-separated list of analyzer names, each either bare ("nopanic")
+// or qualified ("ffsvet/nopanic"). A directive without both a check
+// list and a non-empty reason suppresses nothing and is itself
+// reported, so a silencing comment can never silently lose its
+// justification.
+func collectSuppressions(fset *token.FileSet, files []*ast.File) (suppressionSet, []Diagnostic) {
+	set := suppressionSet{}
+	var malformed []Diagnostic
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//lint:ignore")
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				checksField, reason, _ := strings.Cut(strings.TrimSpace(text), " ")
+				if checksField == "" || strings.TrimSpace(reason) == "" {
+					malformed = append(malformed, Diagnostic{
+						Analyzer: "suppress",
+						Pos:      pos,
+						Message:  "malformed //lint:ignore: want \"//lint:ignore ffsvet/<name>[,...] reason\"; the reason is mandatory, so this comment suppresses nothing",
+					})
+					continue
+				}
+				sup := &suppression{checks: map[string]bool{}}
+				for _, check := range strings.Split(checksField, ",") {
+					check = strings.TrimPrefix(strings.TrimSpace(check), "ffsvet/")
+					if check != "" {
+						sup.checks[check] = true
+					}
+				}
+				if set[pos.Filename] == nil {
+					set[pos.Filename] = map[int]*suppression{}
+				}
+				set[pos.Filename][pos.Line] = sup
+			}
+		}
+	}
+	return set, malformed
+}

@@ -1,0 +1,44 @@
+// Package a is a checkedcorruption fixture: errors returned by the
+// guarded ffs API must be handled, not dropped.
+package a
+
+import "checkedcorruption/ffs"
+
+func drops(fs *ffs.FileSystem, f *ffs.File) {
+	fs.Delete(f) // want `error result of \(\*checkedcorruption/ffs\.FileSystem\)\.Delete discarded; handle it — a dropped \*ffs\.CorruptionError leaves the image silently corrupt \(detect with errors\.As, mend with Repair\)`
+}
+
+func dropsPackageFunc() {
+	ffs.Load("image.img") // want `error result of checkedcorruption/ffs\.Load discarded`
+}
+
+func blanks(fs *ffs.FileSystem) *ffs.File {
+	f, _ := fs.CreateFile("x") // want `error result of \(\*checkedcorruption/ffs\.FileSystem\)\.CreateFile assigned to _; handle it`
+	return f
+}
+
+func deferred(fs *ffs.FileSystem, f *ffs.File) {
+	defer fs.Delete(f) // want `error result of \(\*checkedcorruption/ffs\.FileSystem\)\.Delete discarded by defer`
+}
+
+func concurrent(fs *ffs.FileSystem, f *ffs.File) {
+	go fs.Delete(f) // want `error result of \(\*checkedcorruption/ffs\.FileSystem\)\.Delete discarded by go statement`
+}
+
+// handled is the sanctioned pattern.
+func handled(fs *ffs.FileSystem, f *ffs.File) error {
+	if err := fs.Delete(f); err != nil {
+		return err
+	}
+	return nil
+}
+
+// errorless results may be discarded freely.
+func scores(fs *ffs.FileSystem) {
+	fs.Score()
+}
+
+func suppressed(fs *ffs.FileSystem, f *ffs.File) {
+	//lint:ignore ffsvet/checkedcorruption best-effort cleanup on an image being discarded
+	fs.Delete(f)
+}

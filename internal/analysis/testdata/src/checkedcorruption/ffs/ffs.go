@@ -1,0 +1,15 @@
+// Package ffs is the stand-in for the guarded mutating API in the
+// checkedcorruption fixtures.
+package ffs
+
+type FileSystem struct{}
+
+type File struct{}
+
+func (fs *FileSystem) Delete(f *File) error { return nil }
+
+func (fs *FileSystem) CreateFile(name string) (*File, error) { return nil, nil }
+
+func (fs *FileSystem) Score() float64 { return 0 }
+
+func Load(path string) (*FileSystem, error) { return nil, nil }

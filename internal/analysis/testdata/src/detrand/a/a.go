@@ -1,0 +1,41 @@
+// Package a is a detrand fixture: a fully deterministic package where
+// both the global generator and the wall clock are forbidden.
+package a
+
+import (
+	"math/rand"
+	"time"
+)
+
+func draws() int {
+	return rand.Intn(6) // want `rand\.Intn draws from the process-global generator and breaks replay determinism; thread the replay's seeded \*rand\.Rand here instead`
+}
+
+func shuffles(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `rand\.Shuffle draws from the process-global generator`
+}
+
+func stamps() time.Time {
+	return time.Now() // want `time\.Now reads the wall clock and breaks replay determinism; derive time from the simulated day counter, or keep timing in telemetry packages like internal/runner`
+}
+
+func waits() {
+	<-time.After(time.Second) // want `time\.After reads the wall clock`
+}
+
+// seeded constructions and methods of an injected generator are the
+// sanctioned pattern.
+func seeded(n int) int {
+	rng := rand.New(rand.NewSource(37))
+	return rng.Intn(n)
+}
+
+// pure time arithmetic (methods, constants) is fine.
+func elapsed(start, end time.Time) time.Duration {
+	return end.Sub(start)
+}
+
+func suppressed() int64 {
+	//lint:ignore ffsvet/detrand seeding the sanctioned root generator from entropy at startup
+	return rand.Int63()
+}

@@ -1,0 +1,11 @@
+package a
+
+import randv2 "math/rand/v2"
+
+func drawsV2() int {
+	return randv2.IntN(9) // want `rand\.IntN draws from the process-global generator`
+}
+
+func seededV2() uint64 {
+	return randv2.NewPCG(1, 2).Uint64()
+}

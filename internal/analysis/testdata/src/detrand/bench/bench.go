@@ -1,0 +1,17 @@
+// Package bench is a detrand fixture on the TimeOK allowlist:
+// benchmark harnesses may time themselves with the wall clock, but
+// must still keep every random draw seeded.
+package bench
+
+import (
+	"math/rand"
+	"time"
+)
+
+func timing() time.Time {
+	return time.Now() // sanctioned: package is on the TimeOK allowlist
+}
+
+func jitter() float64 {
+	return rand.Float64() // want `rand\.Float64 draws from the process-global generator`
+}

@@ -1,0 +1,13 @@
+// Package other is a detrand fixture for the package allowlist: it is
+// not on the deterministic list at all (telemetry tier, like
+// internal/runner), so nothing here is flagged.
+package other
+
+import (
+	"math/rand"
+	"time"
+)
+
+func telemetry() (time.Time, int) {
+	return time.Now(), rand.Int()
+}

@@ -1,0 +1,76 @@
+// Package a is a maporder fixture: map iterations whose order reaches
+// an io.Writer, a printer, or an outer slice are flagged; the
+// collect-then-sort idiom and loop-local scratch are not.
+package a
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+func emits(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v) // want `fmt\.Fprintf inside range over a map makes iteration order observable; iterate deterministically: range over slices\.Sorted\(maps\.Keys\(m\)\) instead of the map`
+	}
+}
+
+func prints(m map[string]int) {
+	for k := range m {
+		fmt.Println(k) // want `fmt\.Println inside range over a map makes iteration order observable`
+	}
+}
+
+func builds(m map[string]bool) string {
+	var b strings.Builder
+	for k := range m {
+		b.WriteString(k) // want `\(\*strings\.Builder\)\.WriteString inside range over a map makes iteration order observable`
+	}
+	return b.String()
+}
+
+func collectUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `keys accumulates elements in map-iteration order; sort keys after the loop, or range over slices\.Sorted\(maps\.Keys\(m\)\) instead of the map`
+	}
+	return keys
+}
+
+// collectSorted is the sanctioned idiom: the collected keys are sorted
+// before anyone can observe their order.
+func collectSorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// localScratch appends only to a slice declared inside the loop, whose
+// order cannot escape an iteration.
+func localScratch(m map[string][]int) int {
+	total := 0
+	for _, vs := range m {
+		doubled := []int{}
+		doubled = append(doubled, vs...)
+		total += len(doubled)
+	}
+	return total
+}
+
+// overSlice ranges a slice, which is ordered; nothing to flag.
+func overSlice(w io.Writer, s []string) {
+	for _, v := range s {
+		fmt.Fprintln(w, v)
+	}
+}
+
+func suppressed(w io.Writer, m map[string]struct{}) {
+	for k := range m {
+		//lint:ignore ffsvet/maporder order-insensitive set dump, the consumer sorts
+		fmt.Fprintln(w, k)
+	}
+}

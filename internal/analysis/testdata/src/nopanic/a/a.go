@@ -1,0 +1,32 @@
+// Package a is a nopanic fixture: library packages surface failures as
+// errors; panics and process-terminating calls are flagged.
+package a
+
+import (
+	"log"
+	"os"
+)
+
+func boom() {
+	panic("invariant") // want `panic in library package nopanic/a kills every caller; return an error instead \(use throwCorrupt for on-disk invariant breaches — it surfaces as \*ffs\.CorruptionError\)`
+}
+
+func fatal(err error) {
+	log.Fatalf("x: %v", err) // want `log\.Fatalf terminates the process from library package nopanic/a; return the error and let main decide`
+}
+
+func exits() {
+	os.Exit(2) // want `os\.Exit terminates the process from library package nopanic/a`
+}
+
+func guarded(ok bool) {
+	if !ok {
+		//lint:ignore ffsvet/nopanic precondition panic: caller bug, not replayed disk state
+		panic("caller bug")
+	}
+}
+
+// a value named like a killer is not a call of one.
+func decoys(l *log.Logger, err error) {
+	l.Printf("recovered: %v", err)
+}

@@ -1,0 +1,6 @@
+package a
+
+// Test files are exempt: a panic here fails the test, nothing more.
+func helperPanics() {
+	panic("test helper")
+}

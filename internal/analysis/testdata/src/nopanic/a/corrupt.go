@@ -1,0 +1,7 @@
+package a
+
+// This file stands in for internal/ffs/corrupt.go: the test puts it on
+// the AllowFiles list, sanctioning its panics.
+func deliberateCorruption() {
+	panic("sanctioned corruption path")
+}

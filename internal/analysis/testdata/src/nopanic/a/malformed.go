@@ -1,0 +1,9 @@
+package a
+
+// The reasonless directive below suppresses nothing and is itself
+// flagged, as is the panic it failed to cover.
+// want@8 `malformed //lint:ignore: want "//lint:ignore ffsvet/<name>\[,\.\.\.\] reason"; the reason is mandatory, so this comment suppresses nothing`
+// want@9 `panic in library package`
+
+//lint:ignore ffsvet/nopanic
+func reasonless() { panic("unjustified") }

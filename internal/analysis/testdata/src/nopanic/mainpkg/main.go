@@ -1,0 +1,23 @@
+// Command mainpkg is a nopanic fixture: main packages decide process
+// lifetime, so log.Fatal and friends are sanctioned here.
+package main
+
+import (
+	"errors"
+	"log"
+	"os"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+	os.Exit(0)
+}
+
+func run() error {
+	if len(os.Args) > 9 {
+		panic("too many args")
+	}
+	return errors.New("nothing to do")
+}

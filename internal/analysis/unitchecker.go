@@ -1,0 +1,112 @@
+package analysis
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"io"
+	"os"
+)
+
+// vetConfig mirrors the JSON configuration cmd/go writes for
+// `go vet -vettool` tools (the unitchecker protocol): one file per
+// compilation unit, naming the sources and the export data of every
+// direct import.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	GoVersion                 string
+	SucceedOnTypecheckFailure bool
+}
+
+// RunVetTool analyzes the single compilation unit described by
+// cfgFile, printing findings to stderr in file:line:col form. The
+// returned exit code follows the vettool convention: 0 clean, 1
+// findings, 2 tool failure. cmd/go invokes the tool once per package
+// in the build graph; dependency-only units arrive with VetxOnly set
+// and are skipped outright — the ffsvet analyzers are package-local
+// and export no facts, but the facts file (VetxOutput) must still be
+// written for cmd/go to cache the run.
+func RunVetTool(cfgFile string, analyzers []*Analyzer) int {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ffsvet: %v\n", err)
+		return 2
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "ffsvet: parsing %s: %v\n", cfgFile, err)
+		return 2
+	}
+	writeVetx := func() bool {
+		if cfg.VetxOutput == "" {
+			return true
+		}
+		if err := os.WriteFile(cfg.VetxOutput, []byte("ffsvet: no facts\n"), 0o666); err != nil {
+			fmt.Fprintf(os.Stderr, "ffsvet: %v\n", err)
+			return false
+		}
+		return true
+	}
+	if cfg.VetxOnly {
+		if !writeVetx() {
+			return 2
+		}
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	files, err := ParseFiles(fset, cfg.GoFiles)
+	if err == nil {
+		var pkg *Package
+		imp := NewExportImporter(fset, cfg.ImportMap, cfg.PackageFile)
+		pkg, err = TypeCheck(fset, cfg.ImportPath, cfg.GoVersion, files, imp)
+		if err == nil {
+			diags := Run(pkg, analyzers)
+			for _, d := range diags {
+				fmt.Fprintln(os.Stderr, d)
+			}
+			if !writeVetx() {
+				return 2
+			}
+			if len(diags) > 0 {
+				return 1
+			}
+			return 0
+		}
+	}
+	if cfg.SucceedOnTypecheckFailure {
+		if !writeVetx() {
+			return 2
+		}
+		return 0
+	}
+	fmt.Fprintf(os.Stderr, "ffsvet: %s: %v\n", cfg.ImportPath, err)
+	return 2
+}
+
+// VersionString identifies the tool build for cmd/go's result caching
+// (the `-V=full` handshake). Hashing the executable means editing an
+// analyzer invalidates cached vet verdicts, where a constant string
+// would keep serving stale passes.
+func VersionString() string {
+	self, err := os.Executable()
+	if err == nil {
+		if f, err := os.Open(self); err == nil {
+			defer f.Close()
+			h := sha256.New()
+			if _, err := io.Copy(h, f); err == nil {
+				return fmt.Sprintf("ffsvet version %x", h.Sum(nil)[:12])
+			}
+		}
+	}
+	return "ffsvet version unknown"
+}

@@ -23,6 +23,7 @@ type Set struct {
 // New returns a Set of n bits, all clear.
 func New(n int) *Set {
 	if n < 0 {
+		//lint:ignore ffsvet/nopanic precondition panic: rejects a caller bug (API misuse), never reachable from replayed disk state
 		panic(fmt.Sprintf("bitset: negative size %d", n))
 	}
 	return &Set{n: n, words: make([]uint64, (n+wordBits-1)/wordBits)}
@@ -33,6 +34,7 @@ func (s *Set) Len() int { return s.n }
 
 func (s *Set) check(i int) {
 	if i < 0 || i >= s.n {
+		//lint:ignore ffsvet/nopanic precondition panic: rejects a caller bug (API misuse), never reachable from replayed disk state
 		panic(fmt.Sprintf("bitset: index %d out of range [0,%d)", i, s.n))
 	}
 }
@@ -58,6 +60,7 @@ func (s *Set) Test(i int) bool {
 // SetRange sets bits [lo, hi).
 func (s *Set) SetRange(lo, hi int) {
 	if lo < 0 || hi > s.n || lo > hi {
+		//lint:ignore ffsvet/nopanic precondition panic: rejects a caller bug (API misuse), never reachable from replayed disk state
 		panic(fmt.Sprintf("bitset: bad range [%d,%d) of %d", lo, hi, s.n))
 	}
 	for i := lo; i < hi; i++ {
@@ -68,6 +71,7 @@ func (s *Set) SetRange(lo, hi int) {
 // ClearRange clears bits [lo, hi).
 func (s *Set) ClearRange(lo, hi int) {
 	if lo < 0 || hi > s.n || lo > hi {
+		//lint:ignore ffsvet/nopanic precondition panic: rejects a caller bug (API misuse), never reachable from replayed disk state
 		panic(fmt.Sprintf("bitset: bad range [%d,%d) of %d", lo, hi, s.n))
 	}
 	for i := lo; i < hi; i++ {
@@ -79,6 +83,7 @@ func (s *Set) ClearRange(lo, hi int) {
 // is vacuously true.
 func (s *Set) TestRange(lo, hi int) bool {
 	if lo < 0 || hi > s.n || lo > hi {
+		//lint:ignore ffsvet/nopanic precondition panic: rejects a caller bug (API misuse), never reachable from replayed disk state
 		panic(fmt.Sprintf("bitset: bad range [%d,%d) of %d", lo, hi, s.n))
 	}
 	for i := lo; i < hi; i++ {
@@ -101,6 +106,7 @@ func (s *Set) Count() int {
 // CountRange returns the number of set bits in [lo, hi).
 func (s *Set) CountRange(lo, hi int) int {
 	if lo < 0 || hi > s.n || lo > hi {
+		//lint:ignore ffsvet/nopanic precondition panic: rejects a caller bug (API misuse), never reachable from replayed disk state
 		panic(fmt.Sprintf("bitset: bad range [%d,%d) of %d", lo, hi, s.n))
 	}
 	c := 0
@@ -213,9 +219,11 @@ func (s *Set) RunLengthAt(i int, max int) int {
 // two word operations per candidate run rather than one test per bit.
 func (s *Set) FindRun(lo, hi, length int) int {
 	if length <= 0 {
+		//lint:ignore ffsvet/nopanic precondition panic: rejects a caller bug (API misuse), never reachable from replayed disk state
 		panic(fmt.Sprintf("bitset: FindRun length %d", length))
 	}
 	if lo < 0 || hi > s.n || lo > hi {
+		//lint:ignore ffsvet/nopanic precondition panic: rejects a caller bug (API misuse), never reachable from replayed disk state
 		panic(fmt.Sprintf("bitset: bad range [%d,%d) of %d", lo, hi, s.n))
 	}
 	i := lo

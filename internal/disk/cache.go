@@ -32,6 +32,7 @@ const memoryCopyRate = 60e6
 // units.
 func NewBlockCache(part *Partition, blockBytes, capacityBytes int64) *BlockCache {
 	if blockBytes <= 0 || capacityBytes < blockBytes {
+		//lint:ignore ffsvet/nopanic precondition panic: rejects a caller bug (API misuse), never reachable from replayed disk state
 		panic(fmt.Sprintf("disk: bad cache geometry block=%d capacity=%d", blockBytes, capacityBytes))
 	}
 	return &BlockCache{

@@ -122,12 +122,15 @@ type Disk struct {
 // the phase implied by InitialSpin.
 func New(p Params) *Disk {
 	if p.Geom.TotalSectors() == 0 {
+		//lint:ignore ffsvet/nopanic precondition panic: rejects a caller bug (API misuse), never reachable from replayed disk state
 		panic("disk: zero-size geometry")
 	}
 	if p.MaxTransfer <= 0 || p.MaxTransfer%p.Geom.SectorSize != 0 {
+		//lint:ignore ffsvet/nopanic precondition panic: rejects a caller bug (API misuse), never reachable from replayed disk state
 		panic(fmt.Sprintf("disk: bad MaxTransfer %d", p.MaxTransfer))
 	}
 	if p.InitialSpin < 0 {
+		//lint:ignore ffsvet/nopanic precondition panic: rejects a caller bug (API misuse), never reachable from replayed disk state
 		panic(fmt.Sprintf("disk: negative initial spin %v", p.InitialSpin))
 	}
 	return &Disk{p: p, now: p.InitialSpin}
@@ -152,6 +155,7 @@ func (d *Disk) SetFaultHook(h IOFaultHook) { d.faults = h }
 // Idle advances the clock without disk activity (host compute time).
 func (d *Disk) Idle(seconds float64) {
 	if seconds < 0 {
+		//lint:ignore ffsvet/nopanic precondition panic: rejects a caller bug (API misuse), never reachable from replayed disk state
 		panic("disk: negative idle")
 	}
 	d.now += seconds
@@ -181,9 +185,11 @@ func (d *Disk) Write(lba int64, nsect int) float64 {
 
 func (d *Disk) access(lba int64, nsect int, write bool) float64 {
 	if nsect <= 0 {
+		//lint:ignore ffsvet/nopanic precondition panic: rejects a caller bug (API misuse), never reachable from replayed disk state
 		panic(fmt.Sprintf("disk: non-positive transfer %d", nsect))
 	}
 	if lba < 0 || lba+int64(nsect) > d.p.Geom.TotalSectors() {
+		//lint:ignore ffsvet/nopanic precondition panic: rejects a caller bug (API misuse), never reachable from replayed disk state
 		panic(fmt.Sprintf("disk: access [%d,%d) out of range", lba, lba+int64(nsect)))
 	}
 	start := d.now

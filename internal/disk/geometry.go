@@ -73,6 +73,7 @@ type Chs struct {
 // Locate maps a logical block address to its cylinder/head/sector.
 func (g Geometry) Locate(lba int64) Chs {
 	if lba < 0 || lba >= g.TotalSectors() {
+		//lint:ignore ffsvet/nopanic precondition panic: rejects a caller bug (API misuse), never reachable from replayed disk state
 		panic(fmt.Sprintf("disk: lba %d out of range [0,%d)", lba, g.TotalSectors()))
 	}
 	spc := int64(g.Heads) * int64(g.SectorsPerTrack)
@@ -87,6 +88,7 @@ func (g Geometry) Locate(lba int64) Chs {
 func (g Geometry) Lba(c Chs) int64 {
 	if c.Cyl < 0 || c.Cyl >= g.Cylinders || c.Head < 0 || c.Head >= g.Heads ||
 		c.Sect < 0 || c.Sect >= g.SectorsPerTrack {
+		//lint:ignore ffsvet/nopanic precondition panic: rejects a caller bug (API misuse), never reachable from replayed disk state
 		panic(fmt.Sprintf("disk: bad chs %+v", c))
 	}
 	return (int64(c.Cyl)*int64(g.Heads)+int64(c.Head))*int64(g.SectorsPerTrack) + int64(c.Sect)

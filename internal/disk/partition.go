@@ -16,6 +16,7 @@ type Partition struct {
 // NewPartition carves [startLBA, startLBA+sectors) out of d.
 func NewPartition(d *Disk, startLBA, sectors int64) *Partition {
 	if startLBA < 0 || sectors <= 0 || startLBA+sectors > d.p.Geom.TotalSectors() {
+		//lint:ignore ffsvet/nopanic precondition panic: rejects a caller bug (API misuse), never reachable from replayed disk state
 		panic(fmt.Sprintf("disk: partition [%d,%d) outside disk", startLBA, startLBA+sectors))
 	}
 	return &Partition{disk: d, start: startLBA, sectors: sectors}
@@ -38,9 +39,11 @@ func (p *Partition) Bytes() int64 { return p.sectors * int64(p.disk.p.Geom.Secto
 func (p *Partition) toSectors(off, n int64) (lba int64, nsect int) {
 	ss := int64(p.disk.p.Geom.SectorSize)
 	if off < 0 || n <= 0 || off%ss != 0 || n%ss != 0 {
+		//lint:ignore ffsvet/nopanic precondition panic: rejects a caller bug (API misuse), never reachable from replayed disk state
 		panic(fmt.Sprintf("disk: unaligned partition access off=%d n=%d", off, n))
 	}
 	if off+n > p.Bytes() {
+		//lint:ignore ffsvet/nopanic precondition panic: rejects a caller bug (API misuse), never reachable from replayed disk state
 		panic(fmt.Sprintf("disk: partition access [%d,%d) beyond %d", off, off+n, p.Bytes()))
 	}
 	return p.start + off/ss, int(n / ss)
@@ -66,6 +69,7 @@ func (p *Partition) Write(off, n int64) float64 {
 // offset zero. It returns bytes/second. The partition's clock advances.
 func (p *Partition) RawThroughput(totalBytes, requestSize int64, write bool) float64 {
 	if requestSize <= 0 || totalBytes < requestSize {
+		//lint:ignore ffsvet/nopanic precondition panic: rejects a caller bug (API misuse), never reachable from replayed disk state
 		panic("disk: bad raw throughput request")
 	}
 	if totalBytes > p.Bytes() {

@@ -56,6 +56,7 @@ type queuedReq struct {
 // NewQueue returns an empty queue over d.
 func NewQueue(d *Disk, disc Discipline) *Queue {
 	if disc < FCFS || disc > ElevatorCoalesce {
+		//lint:ignore ffsvet/nopanic precondition panic: rejects a caller bug (API misuse), never reachable from replayed disk state
 		panic(fmt.Sprintf("disk: unknown discipline %d", disc))
 	}
 	return &Queue{disk: d, disc: disc}
@@ -67,6 +68,7 @@ func (q *Queue) Len() int { return len(q.pending) }
 // Submit enqueues a request; lba/nsect follow Disk.Read conventions.
 func (q *Queue) Submit(lba int64, nsect int, write bool) {
 	if nsect <= 0 || lba < 0 || lba+int64(nsect) > q.disk.p.Geom.TotalSectors() {
+		//lint:ignore ffsvet/nopanic precondition panic: rejects a caller bug (API misuse), never reachable from replayed disk state
 		panic(fmt.Sprintf("disk: bad queued request [%d,%d)", lba, lba+int64(nsect)))
 	}
 	q.pending = append(q.pending, queuedReq{seq: len(q.pending), lba: lba, nsect: nsect, write: write})

@@ -21,9 +21,11 @@ type SeekCurve struct {
 // distances).
 func FitSeekCurve(cylinders int, single, average, full float64) SeekCurve {
 	if cylinders < 16 {
+		//lint:ignore ffsvet/nopanic precondition panic: rejects a caller bug (API misuse), never reachable from replayed disk state
 		panic(fmt.Sprintf("disk: too few cylinders %d for seek fit", cylinders))
 	}
 	if !(0 < single && single < average && average < full) {
+		//lint:ignore ffsvet/nopanic precondition panic: rejects a caller bug (API misuse), never reachable from replayed disk state
 		panic(fmt.Sprintf("disk: seek times not increasing: %v %v %v", single, average, full))
 	}
 	d1, d2, d3 := 1.0, float64(cylinders)/3, float64(cylinders-1)
@@ -45,6 +47,7 @@ func FitSeekCurve(cylinders int, single, average, full float64) SeekCurve {
 		}
 		m[col], m[piv] = m[piv], m[col]
 		if math.Abs(m[col][col]) < 1e-12 {
+			//lint:ignore ffsvet/nopanic precondition panic: rejects a caller bug (API misuse), never reachable from replayed disk state
 			panic("disk: singular seek fit")
 		}
 		for r := 0; r < 3; r++ {

@@ -11,10 +11,10 @@ import (
 	"strings"
 
 	"ffsage/internal/aging"
-	"ffsage/internal/faults"
 	"ffsage/internal/bench"
 	"ffsage/internal/core"
 	"ffsage/internal/disk"
+	"ffsage/internal/faults"
 	"ffsage/internal/ffs"
 	"ffsage/internal/layout"
 	"ffsage/internal/runner"

@@ -135,6 +135,7 @@ func Parse(spec string) (*Plan, error) {
 func MustParse(spec string) *Plan {
 	p, err := Parse(spec)
 	if err != nil {
+		//lint:ignore ffsvet/nopanic Must* constructor idiom: reachable only from compile-time-constant fault specs
 		panic(err)
 	}
 	return p

@@ -115,6 +115,7 @@ func (fs *FileSystem) allocBlockMech(cgIdx int, pref Daddr) (Daddr, error) {
 // preferring (cgIdx, pref) and falling back across groups.
 func (fs *FileSystem) allocFragsMech(cgIdx int, pref Daddr, n int) (Daddr, error) {
 	if n <= 0 || n >= fs.fpb {
+		//lint:ignore ffsvet/nopanic precondition panic: rejects a caller bug (API misuse), never reachable from replayed disk state
 		panic(fmt.Sprintf("ffs: allocFragsMech n=%d", n))
 	}
 	if fs.FaultHook != nil {
@@ -183,12 +184,15 @@ func (fs *FileSystem) freeRange(d Daddr, nfrags int) {
 func (fs *FileSystem) TryReallocRun(f *File, start, end, cgIdx int, pref Daddr) bool {
 	n := end - start
 	if n <= 0 || n > fs.P.MaxContig {
+		//lint:ignore ffsvet/nopanic precondition panic: rejects a caller bug (API misuse), never reachable from replayed disk state
 		panic(fmt.Sprintf("ffs: TryReallocRun [%d,%d) maxcontig %d", start, end, fs.P.MaxContig))
 	}
 	if end > len(f.Blocks) {
+		//lint:ignore ffsvet/nopanic precondition panic: rejects a caller bug (API misuse), never reachable from replayed disk state
 		panic(fmt.Sprintf("ffs: TryReallocRun [%d,%d) beyond %d blocks", start, end, len(f.Blocks)))
 	}
 	if end == len(f.Blocks) && f.TailFrags != fs.fpb {
+		//lint:ignore ffsvet/nopanic precondition panic: rejects a caller bug (API misuse), never reachable from replayed disk state
 		panic("ffs: TryReallocRun includes a fragment tail")
 	}
 	c := fs.cgs[cgIdx]

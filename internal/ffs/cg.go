@@ -46,6 +46,7 @@ type CylGroup struct {
 func newCylGroup(fs *FileSystem, index int, startFrag Daddr, nfrags, metaFrags int) *CylGroup {
 	fpb := fs.fpb
 	if nfrags%fpb != 0 {
+		//lint:ignore ffsvet/nopanic precondition panic: rejects a caller bug (API misuse), never reachable from replayed disk state
 		panic(fmt.Sprintf("ffs: cg %d size %d not block aligned", index, nfrags))
 	}
 	c := &CylGroup{
@@ -154,6 +155,7 @@ func (c *CylGroup) clusterAcct(b int, becomingFree bool) {
 // n blocks (n ≤ maxcontig).
 func (c *CylGroup) HasCluster(n int) bool {
 	if n <= 0 {
+		//lint:ignore ffsvet/nopanic precondition panic: rejects a caller bug (API misuse), never reachable from replayed disk state
 		panic("ffs: HasCluster length <= 0")
 	}
 	if n > c.fs.P.MaxContig {
@@ -313,6 +315,7 @@ func (c *CylGroup) allocBlockNear(prefFrag int) int {
 func (c *CylGroup) allocFrags(n, prefFrag int) int {
 	fpb := c.fs.fpb
 	if n <= 0 || n >= fpb {
+		//lint:ignore ffsvet/nopanic precondition panic: rejects a caller bug (API misuse), never reachable from replayed disk state
 		panic(fmt.Sprintf("ffs: allocFrags n=%d", n))
 	}
 	allocsiz := 0
@@ -410,6 +413,7 @@ func (c *CylGroup) findRunInBlock(b, length int) int {
 func (c *CylGroup) extendFrags(fragIdx, oldN, newN int) bool {
 	fpb := c.fs.fpb
 	if oldN <= 0 || newN <= oldN || newN > fpb {
+		//lint:ignore ffsvet/nopanic precondition panic: rejects a caller bug (API misuse), never reachable from replayed disk state
 		panic(fmt.Sprintf("ffs: extendFrags %d→%d", oldN, newN))
 	}
 	if fragIdx/fpb != (fragIdx+newN-1)/fpb {
@@ -433,6 +437,7 @@ func (c *CylGroup) extendFrags(fragIdx, oldN, newN int) bool {
 // depends on (measured in the A4 ablation bench).
 func (c *CylGroup) allocCluster(prefBlock, n int) int {
 	if n <= 0 || n > c.fs.P.MaxContig {
+		//lint:ignore ffsvet/nopanic precondition panic: rejects a caller bug (API misuse), never reachable from replayed disk state
 		panic(fmt.Sprintf("ffs: allocCluster n=%d", n))
 	}
 	if !c.HasCluster(n) {

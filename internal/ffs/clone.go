@@ -39,13 +39,13 @@ func (fs *FileSystem) Clone() *FileSystem {
 	// First pass: copy files; second pass: rebuild the tree links.
 	for ino, f := range fs.files {
 		nf := &File{
-			Ino:       f.Ino,
-			Name:      f.Name,
-			IsDir:     f.IsDir,
-			Size:      f.Size,
-			Blocks:    append([]Daddr(nil), f.Blocks...),
-			TailFrags: f.TailFrags,
-			Indirects: append([]Indirect(nil), f.Indirects...),
+			Ino:        f.Ino,
+			Name:       f.Name,
+			IsDir:      f.IsDir,
+			Size:       f.Size,
+			Blocks:     append([]Daddr(nil), f.Blocks...),
+			TailFrags:  f.TailFrags,
+			Indirects:  append([]Indirect(nil), f.Indirects...),
 			CreateDay:  f.CreateDay,
 			ModDay:     f.ModDay,
 			sectionCg:  f.sectionCg,

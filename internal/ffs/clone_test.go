@@ -2,6 +2,7 @@ package ffs
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"testing"
 )
@@ -88,6 +89,8 @@ func TestCloneSharesNothing(t *testing.T) {
 				victims = append(victims, f)
 			}
 		}
+		// Map order would vary the victim set run to run; pick by inode.
+		sort.Slice(victims, func(i, j int) bool { return victims[i].Ino < victims[j].Ino })
 		for i := 0; i < len(victims); i += deleteStride {
 			if err := fs.Delete(victims[i]); err != nil {
 				return err

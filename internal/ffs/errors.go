@@ -44,6 +44,7 @@ func corruptf(op string, cg int, format string, args ...interface{}) *Corruption
 }
 
 func throwCorrupt(op string, cg int, format string, args ...interface{}) {
+	//lint:ignore ffsvet/nopanic corruption trampoline: recovered into a returned *CorruptionError at every exported-API boundary
 	panic(corruptf(op, cg, format, args...))
 }
 
@@ -60,5 +61,6 @@ func recoverCorruption(err *error) {
 		*err = ce
 		return
 	}
+	//lint:ignore ffsvet/nopanic re-raise of a non-corruption panic from the recovery trampoline, not a new failure path
 	panic(r)
 }

@@ -80,6 +80,7 @@ func (fs *FileSystem) fragsForBytes(n int64) int {
 func (fs *FileSystem) Append(f *File, n int64, day int) (err error) {
 	defer recoverCorruption(&err)
 	if n < 0 {
+		//lint:ignore ffsvet/nopanic precondition panic: rejects a caller bug (API misuse), never reachable from replayed disk state
 		panic(fmt.Sprintf("ffs: Append %d bytes", n))
 	}
 	f.ModDay = day
@@ -277,6 +278,7 @@ func (fs *FileSystem) enterSection(f *File, lbn int) error {
 func (fs *FileSystem) CreateFile(dir *File, name string, size int64, day int) (f *File, err error) {
 	defer recoverCorruption(&err)
 	if !dir.IsDir {
+		//lint:ignore ffsvet/nopanic precondition panic: rejects a caller bug (API misuse), never reachable from replayed disk state
 		panic("ffs: CreateFile in non-directory")
 	}
 	if _, exists := dir.Entries[name]; exists {

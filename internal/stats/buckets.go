@@ -23,6 +23,7 @@ type SizeBucket struct {
 // powers of two with minSize < maxSize.
 func PowerOfTwoBuckets(minSize, maxSize int64) []SizeBucket {
 	if minSize <= 0 || maxSize <= minSize {
+		//lint:ignore ffsvet/nopanic precondition panic: rejects a caller bug (API misuse), never reachable from replayed disk state
 		panic(fmt.Sprintf("stats: bad bucket bounds [%d,%d]", minSize, maxSize))
 	}
 	var out []SizeBucket
@@ -66,6 +67,7 @@ type Series []TimePoint
 // Final returns the last value of the series; it panics when empty.
 func (s Series) Final() float64 {
 	if len(s) == 0 {
+		//lint:ignore ffsvet/nopanic precondition panic: empty series is a caller bug; FinalOr is the fallible accessor
 		panic("stats: Final of empty series")
 	}
 	return s[len(s)-1].Value
@@ -84,10 +86,12 @@ func (s Series) FinalOr(def float64) float64 {
 // value; it panics when the series is empty or d precedes the first day.
 func (s Series) At(d int) float64 {
 	if len(s) == 0 {
+		//lint:ignore ffsvet/nopanic precondition panic: empty series is a caller bug; AtOr is the fallible accessor
 		panic("stats: At of empty series")
 	}
 	i := sort.Search(len(s), func(i int) bool { return s[i].Day > d })
 	if i == 0 {
+		//lint:ignore ffsvet/nopanic precondition panic: rejects a caller bug (API misuse), never reachable from replayed disk state
 		panic(fmt.Sprintf("stats: day %d precedes series start %d", d, s[0].Day))
 	}
 	return s[i-1].Value

@@ -40,6 +40,7 @@ func StdDev(xs []float64) float64 {
 // Min returns the smallest element of xs; it panics on an empty slice.
 func Min(xs []float64) float64 {
 	if len(xs) == 0 {
+		//lint:ignore ffsvet/nopanic precondition panic: rejects a caller bug (API misuse), never reachable from replayed disk state
 		panic("stats: Min of empty slice")
 	}
 	m := xs[0]
@@ -54,6 +55,7 @@ func Min(xs []float64) float64 {
 // Max returns the largest element of xs; it panics on an empty slice.
 func Max(xs []float64) float64 {
 	if len(xs) == 0 {
+		//lint:ignore ffsvet/nopanic precondition panic: rejects a caller bug (API misuse), never reachable from replayed disk state
 		panic("stats: Max of empty slice")
 	}
 	m := xs[0]
@@ -70,9 +72,11 @@ func Max(xs []float64) float64 {
 // slice or out-of-range p.
 func Percentile(xs []float64, p float64) float64 {
 	if len(xs) == 0 {
+		//lint:ignore ffsvet/nopanic precondition panic: rejects a caller bug (API misuse), never reachable from replayed disk state
 		panic("stats: Percentile of empty slice")
 	}
 	if p < 0 || p > 100 {
+		//lint:ignore ffsvet/nopanic precondition panic: rejects a caller bug (API misuse), never reachable from replayed disk state
 		panic(fmt.Sprintf("stats: percentile %v out of range", p))
 	}
 	sorted := make([]float64, len(xs))
