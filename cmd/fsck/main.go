@@ -20,25 +20,64 @@ import (
 
 	"ffsage/internal/core"
 	"ffsage/internal/ffs"
+	"ffsage/internal/obs"
 	"ffsage/internal/trace"
 )
 
 func main() {
 	var (
-		policy = flag.String("policy", "realloc", "allocation policy the image was aged under: ffs or realloc")
-		repair = flag.Bool("repair", false, "repair inconsistencies instead of only reporting them")
-		out    = flag.String("o", "", "write the (repaired) image here")
+		policy  = flag.String("policy", "realloc", "allocation policy the image was aged under: ffs or realloc")
+		repair  = flag.Bool("repair", false, "repair inconsistencies instead of only reporting them")
+		out     = flag.String("o", "", "write the (repaired) image here")
+		metrics = flag.String("metrics", "", "write a metrics snapshot (check outcome, repair action counts) to this file")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: fsck [-policy ffs|realloc] [-repair] [-o out.img] image-or-checkpoint")
+		fmt.Fprintln(os.Stderr, "usage: fsck [-policy ffs|realloc] [-repair] [-o out.img] [-metrics out] image-or-checkpoint")
 		os.Exit(2)
 	}
 	code, err := run(flag.Arg(0), *policy, *repair, *out)
+	if *metrics != "" {
+		if merr := writeMetrics(*metrics); merr != nil {
+			fmt.Fprintln(os.Stderr, "fsck:", merr)
+			if code == 0 {
+				code = 2
+			}
+		}
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fsck:", err)
 	}
 	os.Exit(code)
+}
+
+func writeMetrics(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.Default.WriteMetrics(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// publishRepair records the repair pass's action counts.
+func publishRepair(rep *ffs.RepairReport) {
+	sc := obs.Default.Scope("fsck.repair")
+	sc.Counter("orphans_reattached").Add(int64(rep.ReattachedOrphans))
+	sc.Counter("files_renamed").Add(int64(rep.RenamedFiles))
+	sc.Counter("files_relinked").Add(int64(rep.RelinkedFiles))
+	sc.Counter("files_truncated").Add(int64(rep.TruncatedFiles))
+	sc.Counter("shapes_fixed").Add(int64(rep.ShapeFixes))
+	sc.Counter("leaked_frags").Add(rep.LeakedFrags)
+	sc.Counter("phantom_frags").Add(rep.PhantomFrags)
+	sc.Counter("groups_rebuilt").Add(int64(rep.GroupsRebuilt))
+	sc.Counter("inode_map_fixes").Add(int64(rep.InodeMapFixes))
+	if rep.LayoutFixed {
+		sc.Counter("layout_fixed").Inc()
+	}
 }
 
 func pickPolicy(name string) (ffs.Policy, error) {
@@ -91,6 +130,7 @@ func run(path, policyName string, repair bool, out string) (int, error) {
 	fsys, strictErr := ffs.LoadImage(bytes.NewReader(raw), pol)
 	if strictErr == nil {
 		if err := fsys.Check(); err == nil {
+			obs.Default.Counter("fsck.clean").Inc()
 			fmt.Printf("%s: clean: %d files, utilization %.1f%%, layout %.3f\n",
 				path, fsys.FileCount(), 100*fsys.Utilization(), fsys.LayoutScore())
 			return 0, writeImage(fsys, out)
@@ -98,6 +138,7 @@ func run(path, policyName string, repair bool, out string) (int, error) {
 			strictErr = err
 		}
 	}
+	obs.Default.Counter("fsck.inconsistent").Inc()
 	fmt.Printf("%s: inconsistent: %v\n", path, strictErr)
 	if !repair {
 		return 1, fmt.Errorf("re-run with -repair to fix")
@@ -111,6 +152,7 @@ func run(path, policyName string, repair bool, out string) (int, error) {
 	if err != nil {
 		return 2, fmt.Errorf("repair failed: %w", err)
 	}
+	publishRepair(rep)
 	fmt.Printf("repaired: %s\n", rep)
 	if err := fsys.Check(); err != nil {
 		return 2, fmt.Errorf("still inconsistent after repair: %w", err)

@@ -9,6 +9,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"ffsage/internal/bench"
 	"ffsage/internal/core"
@@ -20,15 +22,42 @@ func main() {
 	var (
 		imagePath = flag.String("image", "aged.img", "file-system image from agefs")
 		fromDay   = flag.Int("fromday", 270, "hot set = files modified on/after this day")
+		attr      = flag.Bool("attr", false, "also print the benchmark's time attribution")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf   = flag.String("memprofile", "", "write a heap profile to this file")
 	)
 	flag.Parse()
-	if err := run(*imagePath, *fromDay); err != nil {
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err == nil {
+			err = pprof.StartCPUProfile(f)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hotbench:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	err := run(*imagePath, *fromDay, *attr)
+	if *memProf != "" && err == nil {
+		if f, ferr := os.Create(*memProf); ferr != nil {
+			err = ferr
+		} else {
+			runtime.GC()
+			err = pprof.WriteHeapProfile(f)
+			f.Close()
+		}
+	}
+	if *cpuProf != "" {
+		pprof.StopCPUProfile()
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "hotbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(imagePath string, fromDay int) error {
+func run(imagePath string, fromDay int, attr bool) error {
 	f, err := os.Open(imagePath)
 	if err != nil {
 		return err
@@ -53,6 +82,20 @@ func run(imagePath string, fromDay int) error {
 			continue
 		}
 		fmt.Printf("  %8s  %6d files  %.3f\n", b.Label, b.Files, b.Score)
+	}
+	if attr {
+		st := res.Disk
+		fmt.Printf("\ntime attribution (seconds by request class):\n")
+		fmt.Printf("%12s %10s %10s %10s %10s %10s %10s\n",
+			"class", "requests", "seek", "rot", "xfer", "ovhd", "total")
+		for c := disk.ReqClass(0); c < disk.NumReqClasses; c++ {
+			t := st.Attr.Class(c)
+			fmt.Printf("%12s %10d %10.3f %10.3f %10.3f %10.3f %10.3f\n",
+				disk.ClassLabel(c), t.Count, t.Seek, t.Rot, t.Transfer, t.Overhead, t.Total())
+		}
+		fmt.Printf("%12s %10s %10.3f %10.3f %10.3f %10.3f %10.3f\n", "all", "",
+			st.SeekTime, st.RotTime, st.TransferTime, st.OverheadTime,
+			st.SeekTime+st.RotTime+st.TransferTime+st.OverheadTime)
 	}
 	return nil
 }

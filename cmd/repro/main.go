@@ -8,7 +8,8 @@
 //	repro [-seed N] [-quick] [-only fig2,table2] [-ablations]
 //	      [-busstudy] [-profiles] [-j N] [-slowscore]
 //	      [-faults spec] [-checkpoint-every K] [-checkpoint-dir dir] [-resume]
-//	      [-md out.md] [-svg dir]
+//	      [-md out.md] [-svg dir] [-metrics out.metrics] [-events out.jsonl]
+//	      [-cpuprofile out.pprof] [-memprofile out.pprof]
 //
 // The full run ages three 502 MB file systems through a ten-month
 // workload and sweeps the sequential benchmark over 18 file sizes on
@@ -27,14 +28,18 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 	"time"
 
 	"ffsage/internal/bench"
+	"ffsage/internal/disk"
 	"ffsage/internal/experiments"
 	"ffsage/internal/faults"
 	"ffsage/internal/ffs"
+	"ffsage/internal/obs"
 	"ffsage/internal/runner"
 	"ffsage/internal/stats"
 	"ffsage/internal/trace"
@@ -42,28 +47,55 @@ import (
 
 func main() {
 	var (
-		seed      = flag.Int64("seed", 1996, "workload generation seed")
-		quick     = flag.Bool("quick", false, "scaled-down run (60 days, 128 MB)")
-		only      = flag.String("only", "", "comma-separated subset: table1,fig1,...,fig6,table2")
-		ablations = flag.Bool("ablations", false, "also run the A1/A2/A4/A5 ablations")
-		profiles  = flag.Bool("profiles", false, "also run the §6 workload-profile study")
-		busStudy  = flag.Bool("busstudy", false, "also run the §5.1 bus-bandwidth study")
-		jobs      = flag.Int("j", 0, "max concurrent jobs (0 = GOMAXPROCS)")
-		slowScore = flag.Bool("slowscore", false, "compute daily layout scores by full rescan (cross-check of the incremental counters)")
-		faultSpec = flag.String("faults", "", "fault plan for the aging replays, e.g. crash@day:30 or ioerr@alloc:5000 (see internal/faults)")
-		ckptEvery = flag.Int("checkpoint-every", 0, "checkpoint the aging replays every K simulated days (needs -checkpoint-dir)")
-		ckptDir   = flag.String("checkpoint-dir", "", "directory holding aging checkpoints")
-		resume    = flag.Bool("resume", false, "resume the aging replays from the checkpoints in -checkpoint-dir")
-		mdPath    = flag.String("md", "", "also write a markdown report to this path")
-		svgDir    = flag.String("svg", "", "also render the six figures as SVG into this directory")
+		seed       = flag.Int64("seed", 1996, "workload generation seed")
+		quick      = flag.Bool("quick", false, "scaled-down run (60 days, 128 MB)")
+		only       = flag.String("only", "", "comma-separated subset: table1,fig1,...,fig6,table2")
+		ablations  = flag.Bool("ablations", false, "also run the A1/A2/A4/A5 ablations")
+		profiles   = flag.Bool("profiles", false, "also run the §6 workload-profile study")
+		busStudy   = flag.Bool("busstudy", false, "also run the §5.1 bus-bandwidth study")
+		jobs       = flag.Int("j", 0, "max concurrent jobs (0 = GOMAXPROCS)")
+		slowScore  = flag.Bool("slowscore", false, "compute daily layout scores by full rescan (cross-check of the incremental counters)")
+		faultSpec  = flag.String("faults", "", "fault plan for the aging replays, e.g. crash@day:30 or ioerr@alloc:5000 (see internal/faults)")
+		ckptEvery  = flag.Int("checkpoint-every", 0, "checkpoint the aging replays every K simulated days (needs -checkpoint-dir)")
+		ckptDir    = flag.String("checkpoint-dir", "", "directory holding aging checkpoints")
+		resume     = flag.Bool("resume", false, "resume the aging replays from the checkpoints in -checkpoint-dir")
+		mdPath     = flag.String("md", "", "also write a markdown report to this path")
+		svgDir     = flag.String("svg", "", "also render the six figures as SVG into this directory")
+		metricsOut = flag.String("metrics", "", "write the deterministic metrics snapshot to this file")
+		eventsOut  = flag.String("events", "", "write the deterministic event streams (JSONL) to this file")
+		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf    = flag.String("memprofile", "", "write a heap profile to this file")
 	)
 	flag.Parse()
 	if *jobs > 0 {
 		runner.SetWorkers(*jobs)
 	}
 	runner.CaptureTelemetry(true)
-	err := run(options{*seed, *quick, *only, *ablations, *profiles, *busStudy, *slowScore,
-		*faultSpec, *ckptEvery, *ckptDir, *resume, *mdPath, *svgDir})
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "repro:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "repro:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	err := run(options{seed: *seed, quick: *quick, only: *only, ablations: *ablations,
+		profiles: *profiles, busStudy: *busStudy, slowScore: *slowScore,
+		faults: *faultSpec, ckptEvery: *ckptEvery, ckptDir: *ckptDir, resume: *resume,
+		mdPath: *mdPath, svgDir: *svgDir, metrics: *metricsOut, events: *eventsOut})
+	if *memProf != "" {
+		if perr := writeHeapProfile(*memProf); perr != nil && err == nil {
+			err = perr
+		}
+	}
+	if *cpuProf != "" {
+		// The deferred stop does not run past os.Exit; flush here too.
+		pprof.StopCPUProfile()
+	}
 	var crash *faults.Crash
 	if errors.As(err, &crash) {
 		fmt.Fprintf(os.Stderr, "repro: aging stopped at planned %v\n", crash)
@@ -128,6 +160,19 @@ type options struct {
 	resume    bool
 	mdPath    string
 	svgDir    string
+	metrics   string
+	events    string
+}
+
+// writeHeapProfile dumps an up-to-date heap profile.
+func writeHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	runtime.GC()
+	return pprof.WriteHeapProfile(f)
 }
 
 // recoveryConfig translates the -faults/-checkpoint flags into the
@@ -209,6 +254,7 @@ func run(o options) error {
 		return err
 	}
 	cfg.Recovery = rec
+	cfg.Obs = obs.Default
 	want := map[string]bool{}
 	for _, k := range strings.Split(only, ",") {
 		if k = strings.TrimSpace(k); k != "" {
@@ -298,6 +344,18 @@ func run(o options) error {
 		r.text("raw device: read %.2f MB/s, write %.2f MB/s", fig4.RawRead/1e6, fig4.RawWrite/1e6)
 		r.text("paper: realloc up to 58%% faster reads near 96 KB, 44%% faster writes at" +
 			" 64 KB; sharp dip at 104 KB; large realloc writes approach/exceed raw writes")
+
+		r.section("Time attribution: where the Figure 4 sweep's simulated seconds went")
+		var lines []string
+		lines = append(lines, attributionTable("ffs", experiments.AggregateSeqStats(fig4.Orig))...)
+		lines = append(lines, "")
+		lines = append(lines, attributionTable("ffs+realloc", experiments.AggregateSeqStats(fig4.Realloc))...)
+		r.table(lines)
+		r.text("rows split each disk request's duration into seek, rotational latency," +
+			" transfer, and controller overhead by service class; the totals row equals" +
+			" the disk model's aggregate time counters exactly (not within epsilon —" +
+			" the totals are defined as this sum). the realloc image's smaller seek and" +
+			" rotation shares are the paper's §5 explanation for its Figure 4 gains")
 	}
 
 	if sel("fig5") {
@@ -463,13 +521,68 @@ func run(o options) error {
 	if mdPath != "" {
 		fmt.Printf("\nmarkdown report written to %s\n", mdPath)
 	}
+	if o.metrics != "" {
+		if err := writeSnapshot(o.metrics, obs.Default.WriteMetrics); err != nil {
+			return err
+		}
+		fmt.Printf("\nmetrics snapshot written to %s\n", o.metrics)
+	}
+	if o.events != "" {
+		if err := writeSnapshot(o.events, obs.Default.WriteEvents); err != nil {
+			return err
+		}
+		fmt.Printf("event streams written to %s\n", o.events)
+	}
 	timingFooter()
 	return nil
 }
 
-// timingFooter prints the runner's per-job telemetry to stdout only —
-// never the markdown report, which stays byte-identical for any -j.
+// writeSnapshot creates path and streams one of the registry's
+// deterministic dumps into it.
+func writeSnapshot(path string, dump func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := dump(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// attributionTable renders one image's per-class time attribution. The
+// "all" row sums the class rows in class order — by construction (see
+// disk.Attribution.Totals) it equals the disk model's SeekTime /
+// RotTime / TransferTime / OverheadTime counters bit for bit.
+func attributionTable(label string, st disk.Stats) []string {
+	lines := []string{
+		fmt.Sprintf("  %-12s %10s %10s %10s %10s %10s %10s", label, "requests", "seek s", "rot s", "xfer s", "ovhd s", "total s"),
+	}
+	var all disk.TimeSplit
+	for c := disk.ReqClass(0); c < disk.NumReqClasses; c++ {
+		t := st.Attr.Class(c)
+		all.Count += t.Count
+		lines = append(lines, fmt.Sprintf("  %-12s %10d %10.3f %10.3f %10.3f %10.3f %10.3f",
+			disk.ClassLabel(c), t.Count, t.Seek, t.Rot, t.Transfer, t.Overhead, t.Total()))
+	}
+	lines = append(lines, fmt.Sprintf("  %-12s %10d %10.3f %10.3f %10.3f %10.3f %10.3f",
+		"all", all.Count, st.SeekTime, st.RotTime, st.TransferTime, st.OverheadTime,
+		st.SeekTime+st.RotTime+st.TransferTime+st.OverheadTime))
+	return lines
+}
+
+// timingFooter prints the runner's per-job telemetry and the artifact
+// caches' hit/miss tallies to stdout only — never the markdown report
+// or the metrics snapshot, both of which stay byte-identical for any
+// -j and across checkpoint/resume (cache traffic does not).
 func timingFooter() {
+	bh, bm, ah, am := experiments.CacheCounts()
+	if bh+bm+ah+am > 0 {
+		fmt.Printf("\n--- caches ---\n")
+		fmt.Printf("  workload builds: %d hit, %d miss\n", bh, bm)
+		fmt.Printf("  aged images:     %d hit, %d miss\n", ah, am)
+	}
 	jobs := runner.Telemetry()
 	if len(jobs) == 0 {
 		return

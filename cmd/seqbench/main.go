@@ -8,6 +8,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -23,15 +25,57 @@ func main() {
 		total     = flag.Int64("total", 32<<20, "benchmark corpus bytes per size point")
 		sizesFlag = flag.String("sizes", "", "comma-separated file sizes in KB (default: paper sweep)")
 		day       = flag.Int("day", 300, "ModDay to stamp benchmark files with")
+		attr      = flag.Bool("attr", false, "also print the sweep's aggregate time attribution")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf   = flag.String("memprofile", "", "write a heap profile to this file")
 	)
 	flag.Parse()
-	if err := run(*imagePath, *total, *sizesFlag, *day); err != nil {
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err == nil {
+			err = pprof.StartCPUProfile(f)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "seqbench:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	err := run(*imagePath, *total, *sizesFlag, *day, *attr)
+	if *memProf != "" && err == nil {
+		if f, ferr := os.Create(*memProf); ferr != nil {
+			err = ferr
+		} else {
+			runtime.GC()
+			err = pprof.WriteHeapProfile(f)
+			f.Close()
+		}
+	}
+	if *cpuProf != "" {
+		pprof.StopCPUProfile()
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "seqbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(imagePath string, total int64, sizesFlag string, day int) error {
+// printAttribution renders an aggregate per-class time split.
+func printAttribution(st disk.Stats) {
+	fmt.Printf("\ntime attribution (seconds by request class):\n")
+	fmt.Printf("%12s %10s %10s %10s %10s %10s %10s\n",
+		"class", "requests", "seek", "rot", "xfer", "ovhd", "total")
+	for c := disk.ReqClass(0); c < disk.NumReqClasses; c++ {
+		t := st.Attr.Class(c)
+		fmt.Printf("%12s %10d %10.3f %10.3f %10.3f %10.3f %10.3f\n",
+			disk.ClassLabel(c), t.Count, t.Seek, t.Rot, t.Transfer, t.Overhead, t.Total())
+	}
+	fmt.Printf("%12s %10s %10.3f %10.3f %10.3f %10.3f %10.3f\n", "all", "",
+		st.SeekTime, st.RotTime, st.TransferTime, st.OverheadTime,
+		st.SeekTime+st.RotTime+st.TransferTime+st.OverheadTime)
+}
+
+func run(imagePath string, total int64, sizesFlag string, day int, attr bool) error {
 	f, err := os.Open(imagePath)
 	if err != nil {
 		return err
@@ -57,6 +101,7 @@ func run(imagePath string, total int64, sizesFlag string, day int) error {
 		bench.RawThroughput(fsys.P.SizeBytes, dp, total, false)/1e6,
 		bench.RawThroughput(fsys.P.SizeBytes, dp, total, true)/1e6)
 	fmt.Printf("%10s %8s %12s %12s %8s\n", "size", "files", "write MB/s", "read MB/s", "layout")
+	var agg disk.Stats
 	for _, size := range sizes {
 		r, err := bench.SequentialIO(fsys, dp, size, total, day)
 		if err != nil {
@@ -64,6 +109,10 @@ func run(imagePath string, total int64, sizesFlag string, day int) error {
 		}
 		fmt.Printf("%9dK %8d %12.2f %12.2f %8.3f\n",
 			r.FileSize>>10, r.NFiles, r.WriteBps/1e6, r.ReadBps/1e6, r.LayoutScore)
+		agg = agg.Add(r.Disk)
+	}
+	if attr {
+		printAttribution(agg)
 	}
 	return nil
 }

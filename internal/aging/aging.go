@@ -23,6 +23,7 @@ import (
 	"ffsage/internal/faults"
 	"ffsage/internal/ffs"
 	"ffsage/internal/layout"
+	"ffsage/internal/obs"
 	"ffsage/internal/stats"
 	"ffsage/internal/trace"
 )
@@ -54,6 +55,14 @@ type Options struct {
 	// Checkpoint receives each emitted checkpoint; returning an error
 	// aborts the replay.
 	Checkpoint func(cp *trace.Checkpoint) error
+
+	// Obs, when non-nil, receives during-replay events on its "run"
+	// tracer stream: checkpoints written, injected faults, and crashes,
+	// keyed on the simulated day. These describe what happened to *this*
+	// run (an interrupted run logs its crash; its resumption does not),
+	// so they are intentionally outside the resume-determinism contract;
+	// the resume-safe summary lives in PublishResult.
+	Obs *obs.Scope
 }
 
 // Result is the outcome of a replay.
@@ -184,6 +193,10 @@ func replayFrom(fsys *ffs.FileSystem, wl *trace.Workload, opts Options, dirs []*
 	if opts.CheckpointEvery > 0 {
 		wlHash = trace.HashWorkload(wl)
 	}
+	var runTr *obs.Tracer
+	if opts.Obs != nil {
+		runTr = opts.Obs.Tracer("run")
+	}
 
 	// endDay closes the current simulated day: record the series point,
 	// then (on schedule) consistency-check and checkpoint. nextOp is the
@@ -226,6 +239,10 @@ func replayFrom(fsys *ffs.FileSystem, wl *trace.Workload, opts Options, dirs []*
 			if err := opts.Checkpoint(cp); err != nil {
 				return fmt.Errorf("aging: day %d checkpoint: %w", day, err)
 			}
+			if runTr != nil {
+				runTr.Emit(float64(day), "checkpoint",
+					obs.I("day", int64(day)), obs.I("next_op", int64(nextOp)))
+			}
 		}
 		return nil
 	}
@@ -240,6 +257,9 @@ func replayFrom(fsys *ffs.FileSystem, wl *trace.Workload, opts Options, dirs []*
 		}
 		if errors.Is(err, faults.ErrInjected) {
 			res.FaultedOps++
+			if runTr != nil {
+				runTr.Emit(float64(day), "fault", obs.I("day", int64(day)))
+			}
 			return true
 		}
 		return false
@@ -257,6 +277,10 @@ func replayFrom(fsys *ffs.FileSystem, wl *trace.Workload, opts Options, dirs []*
 		if c := opts.Faults.CrashBefore(i, op.Day); c != nil {
 			if c.Torn && lastWritten != nil && byID[mustID(lastWritten)] == lastWritten {
 				fsys.TearFile(lastWritten)
+			}
+			if runTr != nil {
+				runTr.Emit(float64(day), "crash",
+					obs.I("day", int64(day)), obs.I("op", int64(i)), obs.B("torn", c.Torn))
 			}
 			return res, fmt.Errorf("aging: %w", c)
 		}

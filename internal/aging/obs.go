@@ -1,0 +1,82 @@
+package aging
+
+import (
+	"ffsage/internal/obs"
+	"ffsage/internal/trace"
+)
+
+// PublishResult publishes a completed replay into the scope. Everything
+// here is derived from resume-safe state — the Result's reconstructed
+// daily series and op counters, the allocator statistics persisted in
+// the image, and the workload itself — so a run resumed from a
+// checkpoint publishes byte-identical metrics and events to the
+// uninterrupted run. (During-replay incidents live on Options.Obs's
+// "run" stream instead, outside this contract.)
+//
+// The "days" tracer stream gets one event per recorded day carrying the
+// layout score, utilization, and the day's op mix counted straight from
+// the workload.
+func PublishResult(sc *obs.Scope, res *Result, wl *trace.Workload) {
+	sc.Counter("days").Add(int64(len(res.LayoutByDay)))
+	sc.Counter("ops.total").Add(int64(len(wl.Ops)))
+	sc.Counter("ops.skipped").Add(int64(res.SkippedOps))
+	sc.Counter("ops.nospace").Add(int64(res.NoSpaceOps))
+	sc.Counter("ops.faulted").Add(int64(res.FaultedOps))
+
+	st := res.Fs.Stats
+	al := sc.Scope("alloc")
+	al.Counter("blocks").Add(st.BlocksAllocated)
+	al.Counter("frags").Add(st.FragAllocs)
+	al.Counter("frag_extends").Add(st.FragExtends)
+	al.Counter("frag_relocations").Add(st.FragRelocations)
+	al.Counter("cluster_moves").Add(st.ClusterMoves)
+	al.Counter("cluster_attempts").Add(st.ClusterAttempts)
+	al.Counter("section_switches").Add(st.SectionSwitches)
+	al.Counter("pref_hits").Add(st.PrefHits)
+	al.Counter("same_cg_fallbacks").Add(st.SameCgFallbacks)
+	al.Counter("cg_fallbacks").Add(st.CgFallbacks)
+	al.Counter("files_created").Add(st.FilesCreated)
+	al.Counter("files_deleted").Add(st.FilesDeleted)
+	al.Counter("bytes_written").Add(st.BytesWritten)
+	al.Counter("nospace_failures").Add(st.NoSpaceFailures)
+	al.Counter("inode_exhaustions").Add(st.InodeExhaustions)
+
+	if n := len(res.LayoutByDay); n > 0 {
+		sc.Gauge("final.layout").Set(res.LayoutByDay[n-1].Value)
+		sc.Gauge("final.util").Set(res.UtilByDay[n-1].Value)
+	}
+
+	// Per-day op mix, counted purely from the workload so the stream is
+	// identical no matter where a resume picked up.
+	type mix struct{ creates, deletes, rewrites int64 }
+	byDay := make(map[int]*mix, wl.Days)
+	for _, op := range wl.Ops {
+		m := byDay[op.Day]
+		if m == nil {
+			m = &mix{}
+			byDay[op.Day] = m
+		}
+		switch op.Kind {
+		case trace.OpCreate:
+			m.creates++
+		case trace.OpDelete:
+			m.deletes++
+		case trace.OpRewrite:
+			m.rewrites++
+		}
+	}
+	tr := sc.TracerCap("days", len(res.LayoutByDay)+1)
+	for i, pt := range res.LayoutByDay {
+		var m mix
+		if p := byDay[pt.Day]; p != nil {
+			m = *p
+		}
+		tr.Emit(float64(pt.Day), "day",
+			obs.I("day", int64(pt.Day)),
+			obs.F("layout", pt.Value),
+			obs.F("util", res.UtilByDay[i].Value),
+			obs.I("creates", m.creates),
+			obs.I("deletes", m.deletes),
+			obs.I("rewrites", m.rewrites))
+	}
+}

@@ -1,0 +1,147 @@
+package aging
+
+import (
+	"bytes"
+	"errors"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ffsage/internal/core"
+	"ffsage/internal/faults"
+	"ffsage/internal/obs"
+	"ffsage/internal/trace"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// snapshotRun replays wl (or resumes from cp) and returns the published
+// metrics and events dumps.
+func snapshotRun(t *testing.T, wl *trace.Workload, cp *trace.Checkpoint, opts Options) (metrics, events string) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	opts.Obs = reg.Scope("aging.test")
+	var res *Result
+	var err error
+	if cp != nil {
+		res, err = ResumeReplay(core.Realloc{}, wl, cp, opts)
+	} else {
+		res, err = Replay(testParams(), core.Realloc{}, wl, opts)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	PublishResult(reg.Scope("aging.test"), res, wl)
+	var m, e bytes.Buffer
+	if err := reg.WriteMetrics(&m); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.WriteEvents(&e); err != nil {
+		t.Fatal(err)
+	}
+	return m.String(), e.String()
+}
+
+// TestPublishResultGolden pins the exact snapshot text of a small
+// seeded replay. If this fails because metrics were intentionally
+// added or renamed, regenerate with:
+//
+//	go test ./internal/aging -run PublishResultGolden -update
+func TestPublishResultGolden(t *testing.T) {
+	wl := testWorkload(11, 10)
+	reg := obs.NewRegistry()
+	res, err := Replay(testParams(), core.Realloc{}, wl, Options{Obs: reg.Scope("aging.golden")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	PublishResult(reg.Scope("aging.golden"), res, wl)
+	var buf bytes.Buffer
+	if err := reg.WriteMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "metrics_golden.txt")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o777); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("metrics snapshot drifted from golden file (regenerate with -update if intended)\ngot:\n%s\nwant:\n%s",
+			buf.Bytes(), want)
+	}
+}
+
+// TestPublishResultResumeIdentical crashes a checkpointing replay
+// mid-run, resumes it, and requires the resumed run's published
+// metrics AND event streams to be byte-identical to an uninterrupted
+// run's — the observability half of the resume-determinism contract.
+func TestPublishResultResumeIdentical(t *testing.T) {
+	wl := testWorkload(5, 14)
+
+	wantMetrics, wantEvents := snapshotRun(t, wl, nil, Options{})
+
+	var cps []*trace.Checkpoint
+	_, err := Replay(testParams(), core.Realloc{}, wl, Options{
+		Faults:          faults.MustParse("crash@day:9"),
+		CheckpointEvery: 3,
+		Checkpoint:      collectCheckpoints(t, &cps),
+	})
+	var crash *faults.Crash
+	if !errors.As(err, &crash) {
+		t.Fatalf("expected planned crash, got %v", err)
+	}
+	if len(cps) == 0 {
+		t.Fatal("no checkpoints before the crash")
+	}
+
+	gotMetrics, gotEvents := snapshotRun(t, wl, cps[len(cps)-1], Options{})
+	if gotMetrics != wantMetrics {
+		t.Errorf("resumed metrics differ from uninterrupted run\ngot:\n%s\nwant:\n%s", gotMetrics, wantMetrics)
+	}
+	if gotEvents != wantEvents {
+		t.Errorf("resumed events differ from uninterrupted run\ngot:\n%s\nwant:\n%s", gotEvents, wantEvents)
+	}
+}
+
+// TestRunStreamRecordsIncidents checks the non-resume-safe side
+// channel: a crashed, checkpointing run logs its checkpoints and crash
+// on the "run" tracer.
+func TestRunStreamRecordsIncidents(t *testing.T) {
+	wl := testWorkload(5, 14)
+	reg := obs.NewRegistry()
+	var cps []*trace.Checkpoint
+	_, err := Replay(testParams(), core.Realloc{}, wl, Options{
+		Obs:             reg.Scope("aging.test"),
+		Faults:          faults.MustParse("crash@day:9"),
+		CheckpointEvery: 3,
+		Checkpoint:      collectCheckpoints(t, &cps),
+	})
+	var crash *faults.Crash
+	if !errors.As(err, &crash) {
+		t.Fatalf("expected planned crash, got %v", err)
+	}
+	tr := reg.Tracer("aging.test.run")
+	var checkpoints, crashes int
+	for _, ev := range tr.Events() {
+		switch ev.Name {
+		case "checkpoint":
+			checkpoints++
+		case "crash":
+			crashes++
+		}
+	}
+	if checkpoints != len(cps) {
+		t.Errorf("%d checkpoint events, want %d", checkpoints, len(cps))
+	}
+	if crashes != 1 {
+		t.Errorf("%d crash events, want 1", crashes)
+	}
+}

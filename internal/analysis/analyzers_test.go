@@ -6,16 +6,18 @@ import (
 
 func TestDetrandFixtures(t *testing.T) {
 	a := Detrand(DetrandConfig{
-		Packages: []string{"detrand/a", "detrand/bench"},
+		Packages: []string{"detrand/a", "detrand/bench", "detrand/obs"},
 		TimeOK:   []string{"detrand/bench"},
 	})
-	for _, path := range []string{"detrand/a", "detrand/bench", "detrand/other"} {
+	for _, path := range []string{"detrand/a", "detrand/bench", "detrand/other", "detrand/obs"} {
 		t.Run(path, func(t *testing.T) { runFixture(t, a, path) })
 	}
 }
 
 func TestMaporderFixtures(t *testing.T) {
-	runFixture(t, Maporder(), "maporder/a")
+	for _, path := range []string{"maporder/a", "maporder/obs"} {
+		t.Run(path, func(t *testing.T) { runFixture(t, Maporder(), path) })
+	}
 }
 
 func TestCheckedCorruptionFixtures(t *testing.T) {

@@ -35,6 +35,7 @@ func DefaultDetrandConfig() DetrandConfig {
 			"ffsage/internal/stats",
 			"ffsage/internal/experiments",
 			"ffsage/internal/bench",
+			"ffsage/internal/obs",
 			"ffsage",
 		},
 		TimeOK: []string{

@@ -1,0 +1,51 @@
+// Package obs is a detrand fixture mirroring ffsage/internal/obs: an
+// observability core whose events must be keyed on *simulated* time.
+// Reading the wall clock to stamp an event, or jittering with the
+// global generator, would make metrics differ run to run; carrying a
+// caller-supplied duration is fine (the caller is a telemetry package
+// allowed to time itself).
+package obs
+
+import (
+	"math/rand"
+	"time"
+)
+
+type event struct {
+	T    float64 // simulated seconds
+	Name string
+}
+
+type tracer struct {
+	ring []event
+}
+
+// emitSim is the sanctioned shape: the simulated timestamp comes in as
+// an argument.
+func (tr *tracer) emitSim(simT float64, name string) {
+	tr.ring = append(tr.ring, event{T: simT, Name: name})
+}
+
+// emitWall stamps events with the wall clock — flagged.
+func (tr *tracer) emitWall(name string) {
+	t := time.Now() // want `time\.Now reads the wall clock and breaks replay determinism`
+	tr.ring = append(tr.ring, event{T: float64(t.Unix()), Name: name})
+}
+
+// sampled drops events with the global generator — flagged.
+func (tr *tracer) sampled(simT float64, name string) {
+	if rand.Float64() < 0.5 { // want `rand\.Float64 draws from the process-global generator`
+		tr.emitSim(simT, name)
+	}
+}
+
+type jobStat struct {
+	Label string
+	Wall  time.Duration
+}
+
+// record carries a wall-clock duration measured elsewhere; duration
+// arithmetic on values handed in is not a clock read.
+func record(stats []jobStat, label string, wall time.Duration) []jobStat {
+	return append(stats, jobStat{Label: label, Wall: wall.Round(time.Millisecond)})
+}

@@ -1,0 +1,49 @@
+// Package obs is a maporder fixture mirroring ffsage/internal/obs's
+// snapshot writer: a metrics registry holds its instruments in maps,
+// and a snapshot must not leak map-iteration order to its writer. The
+// sanctioned shape is collect-sort-range.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+type registry struct {
+	counters map[string]int64
+}
+
+// writeNaive streams while ranging the map — flagged.
+func (r *registry) writeNaive(w io.Writer) {
+	for name, v := range r.counters {
+		fmt.Fprintf(w, "counter %s %d\n", name, v) // want `fmt\.Fprintf inside range over a map makes iteration order observable`
+	}
+}
+
+// collectUnsorted escapes iteration order through the returned slice —
+// flagged.
+func (r *registry) collectUnsorted() []string {
+	var lines []string
+	for name, v := range r.counters {
+		lines = append(lines, fmt.Sprintf("counter %s %d", name, v)) // want `lines accumulates elements in map-iteration order`
+	}
+	return lines
+}
+
+// writeSnapshot is the sanctioned idiom the real registry uses:
+// collect, sort by name, then emit.
+func (r *registry) writeSnapshot(w io.Writer) {
+	type line struct {
+		name string
+		v    int64
+	}
+	var lines []line
+	for name, v := range r.counters {
+		lines = append(lines, line{name, v})
+	}
+	sort.Slice(lines, func(i, j int) bool { return lines[i].name < lines[j].name })
+	for _, l := range lines {
+		fmt.Fprintf(w, "counter %s %d\n", l.name, l.v)
+	}
+}

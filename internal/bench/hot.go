@@ -24,6 +24,10 @@ type HotResult struct {
 	ReadBps     float64
 	WriteBps    float64
 
+	// Disk is the benchmark's full disk-model accounting, including the
+	// per-request time-attribution matrix.
+	Disk disk.Stats
+
 	BySize []stats.SizeBucket
 }
 
@@ -60,6 +64,7 @@ func HotFiles(image *ffs.FileSystem, p disk.Params, fromDay int) (HotResult, err
 	}
 	res.ReadBps = float64(res.TotalBytes) / readTime
 	res.WriteBps = float64(res.TotalBytes) / writeTime
+	res.Disk = io.part.Disk().Stats()
 
 	buckets := stats.PowerOfTwoBuckets(16<<10, 16<<20)
 	res.BySize = layout.BySize(files, fsys.FragsPerBlock(), buckets)

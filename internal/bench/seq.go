@@ -18,6 +18,10 @@ type SeqResult struct {
 	WriteBps    float64 // create+write phase throughput, bytes/second
 	ReadBps     float64
 	LayoutScore float64 // of the benchmark-created files
+	// Disk is the point's full disk-model accounting, including the
+	// per-request time-attribution matrix behind the report's time
+	// attribution table.
+	Disk disk.Stats
 }
 
 // maxFilesPerDir matches the paper: "the data was divided into
@@ -88,6 +92,7 @@ func SequentialIO(image *ffs.FileSystem, p disk.Params, fileSize, totalBytes int
 	res.WriteBps = float64(written) / writeTime
 	res.ReadBps = float64(written) / readTime
 	res.LayoutScore = layout.Aggregate(files, fsys.FragsPerBlock())
+	res.Disk = io.part.Disk().Stats()
 	return res, nil
 }
 

@@ -1,0 +1,138 @@
+package disk
+
+import "fmt"
+
+// Per-request time attribution: every drive request (after splitting at
+// MaxTransfer) is classified by how it was served and by its size, and
+// its duration is split into the four places a request spends time —
+// seek, rotational latency, media/bus transfer, and controller
+// overhead. The aggregate Stats time totals are *derived* from this
+// matrix (see Stats), so the split always reconciles exactly with the
+// totals: the paper's Figure 4 throughput numbers decompose into
+// explained latency with no residual.
+
+// ReqClass says how a request was served.
+type ReqClass int
+
+const (
+	// ReqReadHit is a read served from the drive's read-ahead buffer:
+	// no mechanical delay, transfer time only.
+	ReqReadHit ReqClass = iota
+	// ReqReadMech is a read paying the full mechanical path.
+	ReqReadMech
+	// ReqWrite is a write (always mechanical in this model).
+	ReqWrite
+	NumReqClasses
+)
+
+// ClassLabel returns the metric-name segment for a request class.
+func ClassLabel(c ReqClass) string {
+	switch c {
+	case ReqReadHit:
+		return "read.hit"
+	case ReqReadMech:
+		return "read.mech"
+	case ReqWrite:
+		return "write"
+	}
+	return fmt.Sprintf("class%d", int(c))
+}
+
+// sizeBucketBounds are the request-size class upper bounds in bytes
+// (inclusive), with an implicit +Inf bucket last. Requests are split at
+// the controller's MaxTransfer before classification, so with the
+// paper's 64 KB limit the last bucket stays empty — it exists for
+// configurations with larger transfers.
+var sizeBucketBounds = [...]int64{4 << 10, 8 << 10, 16 << 10, 32 << 10, 64 << 10}
+
+// NumSizeBuckets is the number of request-size classes.
+const NumSizeBuckets = len(sizeBucketBounds) + 1
+
+// SizeBucket returns the size class of a request of n bytes.
+func SizeBucket(n int64) int {
+	for i, ub := range sizeBucketBounds {
+		if n <= ub {
+			return i
+		}
+	}
+	return len(sizeBucketBounds)
+}
+
+// SizeBucketBounds returns the bucket upper bounds in bytes (the +Inf
+// bucket is implicit), for building matching obs histograms.
+func SizeBucketBounds() []float64 {
+	out := make([]float64, len(sizeBucketBounds))
+	for i, b := range sizeBucketBounds {
+		out[i] = float64(b)
+	}
+	return out
+}
+
+// SizeBucketLabel returns a human label for size class i ("le4K",
+// "gt64K").
+func SizeBucketLabel(i int) string {
+	if i < len(sizeBucketBounds) {
+		return fmt.Sprintf("le%dK", sizeBucketBounds[i]>>10)
+	}
+	return fmt.Sprintf("gt%dK", sizeBucketBounds[len(sizeBucketBounds)-1]>>10)
+}
+
+// TimeSplit is one attribution cell: how many requests landed here and
+// where their time went, in seconds.
+type TimeSplit struct {
+	Count    int64
+	Seek     float64
+	Rot      float64
+	Transfer float64
+	Overhead float64
+}
+
+// Total returns the cell's summed duration.
+func (t TimeSplit) Total() float64 { return t.Seek + t.Rot + t.Transfer + t.Overhead }
+
+func (t *TimeSplit) add(o TimeSplit) {
+	t.Count += o.Count
+	t.Seek += o.Seek
+	t.Rot += o.Rot
+	t.Transfer += o.Transfer
+	t.Overhead += o.Overhead
+}
+
+// Attribution is the full per-request time-attribution matrix. It is a
+// fixed-size value type so Stats stays comparable and copyable.
+type Attribution [NumReqClasses][NumSizeBuckets]TimeSplit
+
+// Add accumulates one request's split into (class, sizeBucket).
+func (a *Attribution) Add(c ReqClass, bucket int, t TimeSplit) { a[c][bucket].add(t) }
+
+// Merge accumulates o cell-wise, in fixed matrix order; merging the
+// same operands in the same order always yields the same floats.
+func (a *Attribution) Merge(o *Attribution) {
+	for c := range a {
+		for b := range a[c] {
+			a[c][b].add(o[c][b])
+		}
+	}
+}
+
+// Class returns the class-c row summed across size buckets, in bucket
+// order.
+func (a *Attribution) Class(c ReqClass) TimeSplit {
+	var t TimeSplit
+	for b := range a[c] {
+		t.add(a[c][b])
+	}
+	return t
+}
+
+// Totals sums the matrix. The iteration is class-major with a per-class
+// subtotal, matching exactly how callers that sum Class() results
+// arrive at the same floats — this is the reconciliation contract
+// between Stats' time totals and the attribution histograms.
+func (a *Attribution) Totals() TimeSplit {
+	var t TimeSplit
+	for c := ReqClass(0); c < NumReqClasses; c++ {
+		t.add(a.Class(c))
+	}
+	return t
+}

@@ -1,0 +1,131 @@
+package disk
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"ffsage/internal/obs"
+)
+
+// driveMixedTraffic issues a deterministic mix of mechanical reads,
+// buffered re-reads, writes, and multi-chunk transfers.
+func driveMixedTraffic(d *Disk) {
+	d.Read(100000, 16)
+	d.Read(100016, 16) // buffer hit: continues the stream
+	d.Write(900000, 16)
+	d.Read(5000, 200) // splits at MaxTransfer
+	d.Write(5000, 300)
+	d.Idle(0.01)
+	d.Read(5200, 8)
+}
+
+// TestAttributionReconcilesExactly pins the observability contract:
+// the Stats time totals are exactly the attribution matrix's sums — no
+// epsilon — and the totals account for the full simulated duration.
+func TestAttributionReconcilesExactly(t *testing.T) {
+	d := newTestDisk()
+	start := d.Now()
+	driveMixedTraffic(d)
+	st := d.Stats()
+
+	var seek, rot, xfer, ovh float64
+	var n int64
+	for c := ReqClass(0); c < NumReqClasses; c++ {
+		cl := st.Attr.Class(c)
+		seek += cl.Seek
+		rot += cl.Rot
+		xfer += cl.Transfer
+		ovh += cl.Overhead
+		n += cl.Count
+	}
+	if st.SeekTime != seek || st.RotTime != rot || st.TransferTime != xfer || st.OverheadTime != ovh {
+		t.Errorf("totals do not reconcile exactly:\nstats (%v %v %v %v)\nattr  (%v %v %v %v)",
+			st.SeekTime, st.RotTime, st.TransferTime, st.OverheadTime, seek, rot, xfer, ovh)
+	}
+	if n != st.Reads+st.Writes {
+		t.Errorf("attribution count %d != %d requests", n, st.Reads+st.Writes)
+	}
+	if got := st.Attr.Class(ReqReadHit).Count; got != st.BufferHits {
+		t.Errorf("read-hit count %d != BufferHits %d", got, st.BufferHits)
+	}
+	if got := st.Attr.Class(ReqWrite).Count; got != st.Writes {
+		t.Errorf("write count %d != Writes %d", got, st.Writes)
+	}
+	// Every simulated second outside Idle is attributed somewhere.
+	total := st.SeekTime + st.RotTime + st.TransferTime + st.OverheadTime
+	if diff := (d.Now() - start) - 0.01 - total; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("unattributed time %v", diff)
+	}
+}
+
+func TestStatsAddRecomputesTotals(t *testing.T) {
+	d1, d2 := newTestDisk(), newTestDisk()
+	driveMixedTraffic(d1)
+	d2.Write(40000, 64)
+	d2.Read(40000, 64)
+	sum := d1.Stats().Add(d2.Stats())
+	tt := sum.Attr.Totals()
+	if sum.SeekTime != tt.Seek || sum.RotTime != tt.Rot ||
+		sum.TransferTime != tt.Transfer || sum.OverheadTime != tt.Overhead {
+		t.Error("Add did not recompute time totals from the merged attribution")
+	}
+	if sum.Reads != d1.Stats().Reads+d2.Stats().Reads {
+		t.Errorf("Reads = %d", sum.Reads)
+	}
+}
+
+func TestSizeBucketing(t *testing.T) {
+	cases := map[int64]int{
+		512:           0,
+		4 << 10:       0,
+		(4 << 10) + 1: 1,
+		8 << 10:       1,
+		16 << 10:      2,
+		32 << 10:      3,
+		64 << 10:      4,
+		65 << 10:      5,
+	}
+	for n, want := range cases {
+		if got := SizeBucket(n); got != want {
+			t.Errorf("SizeBucket(%d) = %d, want %d", n, got, want)
+		}
+	}
+	if SizeBucketLabel(0) != "le4K" || SizeBucketLabel(NumSizeBuckets-1) != "gt64K" {
+		t.Errorf("labels: %q %q", SizeBucketLabel(0), SizeBucketLabel(NumSizeBuckets-1))
+	}
+}
+
+// TestPublishStatsReconciles publishes a snapshot and checks the obs
+// histograms carry the same totals, summed the same way.
+func TestPublishStatsReconciles(t *testing.T) {
+	d := newTestDisk()
+	driveMixedTraffic(d)
+	st := d.Stats()
+	reg := obs.NewRegistry()
+	PublishStats(reg.Scope("disk.test"), st)
+
+	var seek float64
+	var count int64
+	for c := ReqClass(0); c < NumReqClasses; c++ {
+		h := reg.Scope("disk.test").Scope(ClassLabel(c)).Histogram("seek_s", SizeBucketBounds())
+		seek += h.Sum()
+		count += h.Count()
+	}
+	if seek != st.SeekTime {
+		t.Errorf("published seek sum %v != stats %v", seek, st.SeekTime)
+	}
+	if count != st.Reads+st.Writes {
+		t.Errorf("published count %d != %d", count, st.Reads+st.Writes)
+	}
+	if got := reg.Counter("disk.test.buffer_hits").Value(); got != st.BufferHits {
+		t.Errorf("buffer_hits counter %d != %d", got, st.BufferHits)
+	}
+	var buf bytes.Buffer
+	if err := reg.WriteMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "hist disk.test.read.mech.seek_s le=4096") {
+		t.Errorf("snapshot missing attribution histogram:\n%s", buf.String())
+	}
+}

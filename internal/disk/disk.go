@@ -69,19 +69,45 @@ func SparcStation1Params() Params {
 }
 
 // Stats accumulates what the disk spent its time on, for tests,
-// debugging and the ablation benches.
+// debugging and the ablation benches. The four time totals are derived
+// from the per-request attribution matrix when Stats() snapshots them
+// (always in the same fixed order), so SeekTime is *exactly* the sum of
+// Attr's seek cells — the observability layer's reconciliation
+// guarantee, asserted by tests.
 type Stats struct {
 	Reads, Writes     int64 // requests after splitting
 	SectorsRead       int64
 	SectorsWritten    int64
 	BufferHits        int64   // read requests served by read-ahead
-	SeekTime          float64 // seconds
-	RotTime           float64
-	TransferTime      float64
-	OverheadTime      float64
-	SeekCount         int64 // non-zero-distance seeks
+	SeekTime          float64 // seconds; = Attr.Totals().Seek
+	RotTime           float64 // = Attr.Totals().Rot
+	TransferTime      float64 // = Attr.Totals().Transfer
+	OverheadTime      float64 // = Attr.Totals().Overhead
+	SeekCount         int64   // non-zero-distance seeks
 	CylindersTraveled int64
 	IOErrors          int64 // injected faults retried (see SetFaultHook)
+
+	// Attr splits every request's duration by how it was served and by
+	// request size; see attr.go.
+	Attr Attribution
+}
+
+// Add returns the cell-wise sum of two snapshots, with the time totals
+// recomputed from the merged attribution so the reconciliation
+// invariant survives aggregation across disks.
+func (s Stats) Add(o Stats) Stats {
+	s.Reads += o.Reads
+	s.Writes += o.Writes
+	s.SectorsRead += o.SectorsRead
+	s.SectorsWritten += o.SectorsWritten
+	s.BufferHits += o.BufferHits
+	s.SeekCount += o.SeekCount
+	s.CylindersTraveled += o.CylindersTraveled
+	s.IOErrors += o.IOErrors
+	s.Attr.Merge(&o.Attr)
+	t := s.Attr.Totals()
+	s.SeekTime, s.RotTime, s.TransferTime, s.OverheadTime = t.Seek, t.Rot, t.Transfer, t.Overhead
+	return s
 }
 
 // IOFaultHook is the fault-injection point for the disk model. It is a
@@ -142,8 +168,14 @@ func (d *Disk) Params() Params { return d.p }
 // Now returns the current simulated time in seconds.
 func (d *Disk) Now() float64 { return d.now }
 
-// Stats returns a copy of the accumulated statistics.
-func (d *Disk) Stats() Stats { return d.stats }
+// Stats returns a copy of the accumulated statistics, with the time
+// totals computed from the attribution matrix in its fixed order.
+func (d *Disk) Stats() Stats {
+	st := d.stats
+	t := st.Attr.Totals()
+	st.SeekTime, st.RotTime, st.TransferTime, st.OverheadTime = t.Seek, t.Rot, t.Transfer, t.Overhead
+	return st
+}
 
 // ResetStats zeroes the statistics without touching the clock or head.
 func (d *Disk) ResetStats() { d.stats = Stats{} }
@@ -206,11 +238,13 @@ func (d *Disk) access(lba int64, nsect int, write bool) float64 {
 	return d.now - start
 }
 
-// request issues one ≤MaxTransfer request to the drive.
+// request issues one ≤MaxTransfer request to the drive, attributing
+// its duration to exactly one (class, size) attribution cell.
 func (d *Disk) request(lba int64, nsect int, write bool) {
 	g := d.p.Geom
+	split := TimeSplit{Count: 1}
 	d.now += d.p.CtlOverhead
-	d.stats.OverheadTime += d.p.CtlOverhead
+	split.Overhead += d.p.CtlOverhead
 
 	if d.faults != nil {
 		if err := d.faults.BeforeIO(write, lba, nsect); err != nil {
@@ -219,17 +253,19 @@ func (d *Disk) request(lba int64, nsect int, write bool) {
 			d.stats.IOErrors++
 			penalty := g.RotationPeriod() + d.p.CtlOverhead
 			d.now += penalty
-			d.stats.OverheadTime += penalty
+			split.Overhead += penalty
 		}
 	}
 
+	bucket := SizeBucket(int64(nsect) * int64(g.SectorSize))
 	if write {
 		d.stats.Writes++
 		d.stats.SectorsWritten += int64(nsect)
 		// A write lands wherever the platters happen to be: full
 		// mechanical path, and it invalidates the read-ahead stream.
 		d.raValid = false
-		d.mechanicalTransfer(lba, nsect)
+		split.Seek, split.Rot, split.Transfer = d.mechanicalTransfer(lba, nsect)
+		d.stats.Attr.Add(ReqWrite, bucket, split)
 		return
 	}
 
@@ -248,11 +284,13 @@ func (d *Disk) request(lba int64, nsect int, write bool) {
 			t = mediaT
 		}
 		d.now += t
-		d.stats.TransferTime += t
+		split.Transfer += t
+		d.stats.Attr.Add(ReqReadHit, bucket, split)
 		d.advanceReadAhead(lba, nsect)
 		return
 	}
-	d.mechanicalTransfer(lba, nsect)
+	split.Seek, split.Rot, split.Transfer = d.mechanicalTransfer(lba, nsect)
+	d.stats.Attr.Add(ReqReadMech, bucket, split)
 	d.advanceReadAhead(lba, nsect)
 }
 
@@ -287,12 +325,13 @@ func (d *Disk) advanceReadAhead(lba int64, nsect int) {
 }
 
 // mechanicalTransfer performs seek + rotational latency + media
-// transfer for one request. Track and cylinder boundaries crossed
+// transfer for one request, returning the three components so the
+// caller can attribute them. Track and cylinder boundaries crossed
 // mid-transfer cost nothing extra: the disk's format skew exists
 // precisely to let sequential transfers stream across them, and
 // charging them here would silently shift the rotational phase that
 // the lost-rotation write behaviour depends on.
-func (d *Disk) mechanicalTransfer(lba int64, nsect int) {
+func (d *Disk) mechanicalTransfer(lba int64, nsect int) (seek, rot, xfer float64) {
 	g := d.p.Geom
 	loc := g.Locate(lba)
 
@@ -301,16 +340,15 @@ func (d *Disk) mechanicalTransfer(lba int64, nsect int) {
 	if dist < 0 {
 		dist = -dist
 	}
-	st := d.p.Seek.Time(dist)
-	if dist == 0 && st == 0 {
+	seek = d.p.Seek.Time(dist)
+	if dist == 0 && seek == 0 {
 		// Same cylinder: a head switch may still be needed; charge it
 		// unconditionally at half weight as an average over "same head"
 		// and "different head" cases, keeping the model deterministic
 		// without tracking the active head.
-		st = d.p.HeadSwitch / 2
+		seek = d.p.HeadSwitch / 2
 	}
-	d.now += st
-	d.stats.SeekTime += st
+	d.now += seek
 	if dist > 0 {
 		d.stats.SeekCount++
 		d.stats.CylindersTraveled += int64(dist)
@@ -324,12 +362,11 @@ func (d *Disk) mechanicalTransfer(lba int64, nsect int) {
 	if waitSectors < 0 {
 		waitSectors += float64(g.SectorsPerTrack)
 	}
-	rot := waitSectors * g.SectorTime()
+	rot = waitSectors * g.SectorTime()
 	d.now += rot
-	d.stats.RotTime += rot
 
 	// Media transfer; skew hides boundary crossings.
-	xfer := float64(nsect) * g.SectorTime()
+	xfer = float64(nsect) * g.SectorTime()
 	// The host transfer overlaps the media transfer via the drive
 	// buffer; the slower of the two dominates.
 	busT := float64(nsect*g.SectorSize) / d.p.BusRate
@@ -337,6 +374,6 @@ func (d *Disk) mechanicalTransfer(lba int64, nsect int) {
 		xfer = busT
 	}
 	d.now += xfer
-	d.stats.TransferTime += xfer
 	d.curCyl = g.Locate(lba + int64(nsect) - 1).Cyl
+	return seek, rot, xfer
 }

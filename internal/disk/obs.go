@@ -1,0 +1,39 @@
+package disk
+
+import "ffsage/internal/obs"
+
+// PublishStats publishes a Stats snapshot into the scope: the integer
+// request counters, and one weighted histogram per (request class, time
+// component) whose buckets are the request-size classes and whose
+// weights are seconds. Histogram sums reconcile exactly with the
+// snapshot's time totals because both are accumulated in the same fixed
+// bucket order (see Attribution.Totals).
+//
+// Callers must follow the single-writer convention: one scope per disk
+// (or per deterministic aggregation), published sequentially.
+func PublishStats(sc *obs.Scope, st Stats) {
+	sc.Counter("requests.read").Add(st.Reads)
+	sc.Counter("requests.write").Add(st.Writes)
+	sc.Counter("sectors.read").Add(st.SectorsRead)
+	sc.Counter("sectors.written").Add(st.SectorsWritten)
+	sc.Counter("buffer_hits").Add(st.BufferHits)
+	sc.Counter("seeks").Add(st.SeekCount)
+	sc.Counter("cylinders_traveled").Add(st.CylindersTraveled)
+	sc.Counter("io_errors").Add(st.IOErrors)
+
+	bounds := SizeBucketBounds()
+	for c := ReqClass(0); c < NumReqClasses; c++ {
+		cs := sc.Scope(ClassLabel(c))
+		seek := cs.Histogram("seek_s", bounds)
+		rot := cs.Histogram("rot_s", bounds)
+		xfer := cs.Histogram("transfer_s", bounds)
+		ovh := cs.Histogram("overhead_s", bounds)
+		for b := 0; b < NumSizeBuckets; b++ {
+			cell := st.Attr[c][b]
+			seek.AddBucket(b, cell.Count, cell.Seek)
+			rot.AddBucket(b, cell.Count, cell.Rot)
+			xfer.AddBucket(b, cell.Count, cell.Transfer)
+			ovh.AddBucket(b, cell.Count, cell.Overhead)
+		}
+	}
+}

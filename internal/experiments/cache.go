@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"ffsage/internal/aging"
 	"ffsage/internal/ffs"
@@ -42,7 +43,22 @@ var (
 	cacheMu    sync.Mutex
 	buildCache = map[string]*buildEntry{}
 	agedCache  = map[string]*agedEntry{}
+
+	// Hit/miss tallies for the repro timing footer. Which lookups hit
+	// depends on arm scheduling (and, across a resume, on what the first
+	// process built), so these are process diagnostics — printed to
+	// stdout, never written into a metrics snapshot.
+	buildHits, buildMisses atomic.Int64
+	agedHits, agedMisses   atomic.Int64
 )
+
+// CacheCounts reports the process-wide cache lookup tallies: workload
+// builds and aged images, hits and misses. A singleflight loser that
+// blocked on a build in flight still counts as a hit — the work was
+// shared.
+func CacheCounts() (buildHit, buildMiss, agedHit, agedMiss int64) {
+	return buildHits.Load(), buildMisses.Load(), agedHits.Load(), agedMisses.Load()
+}
 
 // workloadKey identifies a workload build by the full value of its
 // configurations (both are flat structs of scalars).
@@ -66,6 +82,9 @@ func CachedBuild(wc workload.Config, nc workload.NFSTraceConfig) (*workload.Buil
 	if e == nil {
 		e = &buildEntry{}
 		buildCache[key] = e
+		buildMisses.Add(1)
+	} else {
+		buildHits.Add(1)
 	}
 	cacheMu.Unlock()
 	e.once.Do(func() { e.b, e.err = workload.BuildWorkload(wc, nc) })
@@ -88,6 +107,9 @@ func CachedAgedImage(params ffs.Params, policy ffs.Policy, wl *trace.Workload, w
 	if e == nil {
 		e = &agedEntry{}
 		agedCache[key] = e
+		agedMisses.Add(1)
+	} else {
+		agedHits.Add(1)
 	}
 	cacheMu.Unlock()
 	e.once.Do(func() { e.res, e.err = aging.Replay(params, policy, wl, opts) })
@@ -106,4 +128,8 @@ func ResetCaches() {
 	defer cacheMu.Unlock()
 	buildCache = map[string]*buildEntry{}
 	agedCache = map[string]*agedEntry{}
+	buildHits.Store(0)
+	buildMisses.Store(0)
+	agedHits.Store(0)
+	agedMisses.Store(0)
 }

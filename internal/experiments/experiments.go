@@ -17,6 +17,7 @@ import (
 	"ffsage/internal/faults"
 	"ffsage/internal/ffs"
 	"ffsage/internal/layout"
+	"ffsage/internal/obs"
 	"ffsage/internal/runner"
 	"ffsage/internal/stats"
 	"ffsage/internal/trace"
@@ -48,6 +49,13 @@ type Config struct {
 	// non-nil Recovery bypasses the process-wide aged-image cache:
 	// faulted or resumed replays are side-effecting and must run.
 	Recovery *Recovery
+	// Obs, when non-nil, receives the run's deterministic metrics and
+	// events: each aging arm's summary under aging.<arm> (published
+	// sequentially in arm order after the parallel replays finish, so
+	// float accumulation order never depends on scheduling) and the
+	// aggregated disk accounting of the Figure 4 sweep and Table 2
+	// benchmarks under disk.fig4.* / disk.table2.*.
+	Obs *obs.Registry
 }
 
 // Recovery configures fault injection and checkpoint/resume for the
@@ -178,6 +186,23 @@ func NewSuite(cfg Config) (*Suite, error) {
 	if _, err := g.Wait(); err != nil {
 		return nil, err
 	}
+	if cfg.Obs != nil {
+		// Publish sequentially, in arm order, after the barrier: the
+		// metrics are pure functions of each arm's (resume-safe) result,
+		// so the snapshot is identical for every -j level and for
+		// resumed runs.
+		for _, p := range []struct {
+			arm string
+			res *aging.Result
+			wl  *trace.Workload
+		}{
+			{"age-ffs", s.AgedFFS, b.Reconstructed},
+			{"age-realloc", s.AgedRealloc, b.Reconstructed},
+			{"age-ground-truth", s.RealFFS, b.Reference.GroundTruth},
+		} {
+			aging.PublishResult(cfg.Obs.Scope("aging."+p.arm), p.res, p.wl)
+		}
+	}
 	return s, nil
 }
 
@@ -187,6 +212,12 @@ func NewSuite(cfg Config) (*Suite, error) {
 func ageArm(cfg Config, arm string, policy ffs.Policy, wl *trace.Workload) (*aging.Result, error) {
 	rec := cfg.Recovery
 	opts := cfg.agingOpts()
+	if cfg.Obs != nil {
+		// During-replay incident stream (checkpoints, faults, crashes).
+		// Arms write to disjoint scopes, so concurrent arms never share
+		// a tracer.
+		opts.Obs = cfg.Obs.Scope("aging." + arm)
+	}
 	if rec.CheckpointEvery > 0 && rec.Sink != nil {
 		opts.CheckpointEvery = rec.CheckpointEvery
 		opts.Checkpoint = rec.Sink(arm)
@@ -268,7 +299,24 @@ func (s *Suite) Fig4() (*Fig4Data, error) {
 		RawRead:  bench.RawThroughput(s.Cfg.FsParams.SizeBytes, s.Cfg.DiskParams, s.Cfg.BenchTotal, false),
 		RawWrite: bench.RawThroughput(s.Cfg.FsParams.SizeBytes, s.Cfg.DiskParams, s.Cfg.BenchTotal, true),
 	}
+	if s.Cfg.Obs != nil {
+		// Published once (the sweep is memoized); sweep results are
+		// indexed by size, so this aggregation order is fixed.
+		disk.PublishStats(s.Cfg.Obs.Scope("disk.fig4.ffs"), AggregateSeqStats(orig))
+		disk.PublishStats(s.Cfg.Obs.Scope("disk.fig4.realloc"), AggregateSeqStats(re))
+	}
 	return s.fig4, nil
+}
+
+// AggregateSeqStats folds a sweep's per-point disk accounting into one
+// Stats, in point order. The time totals are recomputed from the merged
+// attribution matrix (disk.Stats.Add), so they still reconcile exactly.
+func AggregateSeqStats(rs []bench.SeqResult) disk.Stats {
+	var agg disk.Stats
+	for _, r := range rs {
+		agg = agg.Add(r.Disk)
+	}
+	return agg
 }
 
 // Fig5 returns the layout scores of the benchmark-created files, one
@@ -281,13 +329,19 @@ func (s *Suite) Fig5() (orig, realloc []bench.SeqResult, err error) {
 	return d.Orig, d.Realloc, nil
 }
 
-// Table2 runs the hot-file benchmark on both images.
+// Table2 runs the hot-file benchmark on both images. With Cfg.Obs set
+// it also publishes both runs' disk accounting (once per call; repro
+// calls it once).
 func (s *Suite) Table2() (orig, realloc bench.HotResult, err error) {
 	orig, err = bench.HotFiles(s.AgedFFS.Fs, s.Cfg.DiskParams, s.hotFromDay())
 	if err != nil {
 		return
 	}
 	realloc, err = bench.HotFiles(s.AgedRealloc.Fs, s.Cfg.DiskParams, s.hotFromDay())
+	if err == nil && s.Cfg.Obs != nil {
+		disk.PublishStats(s.Cfg.Obs.Scope("disk.table2.ffs"), orig.Disk)
+		disk.PublishStats(s.Cfg.Obs.Scope("disk.table2.realloc"), realloc.Disk)
+	}
 	return
 }
 

@@ -108,7 +108,15 @@ func (fs *FileSystem) allocBlockMech(cgIdx int, pref Daddr) (Daddr, error) {
 		throwCorrupt("allocBlock", chosen, "nbfree>0 but allocBlockNear failed")
 	}
 	fs.Stats.BlocksAllocated++
-	return c.absFrag(b * fs.fpb), nil
+	got := c.absFrag(b * fs.fpb)
+	if prefRel >= 0 {
+		if got == pref {
+			fs.Stats.PrefHits++
+		} else {
+			fs.Stats.SameCgFallbacks++
+		}
+	}
+	return got, nil
 }
 
 // allocFragsMech allocates a run of n fragments (1 ≤ n < fpb),
@@ -157,6 +165,13 @@ func (fs *FileSystem) allocFragsMech(cgIdx int, pref Daddr, n int) (Daddr, error
 		throwCorrupt("allocFrags", chosen, "canSatisfy(%d) but allocFrags failed", n)
 	}
 	fs.Stats.FragAllocs++
+	if prefRel >= 0 {
+		if idx == prefRel {
+			fs.Stats.PrefHits++
+		} else {
+			fs.Stats.SameCgFallbacks++
+		}
+	}
 	return c.absFrag(idx), nil
 }
 

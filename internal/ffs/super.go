@@ -71,6 +71,8 @@ type AllocStats struct {
 	ClusterMoves     int64 // realloc relocations performed
 	ClusterAttempts  int64 // FlushCluster invocations with a fragmented run
 	SectionSwitches  int64 // cylinder-group changes at section starts
+	PrefHits         int64 // allocations placed exactly at ffs_blkpref's preference
+	SameCgFallbacks  int64 // allocations that stayed in the preferred group but missed the preferred address
 	CgFallbacks      int64 // allocations that left the preferred group
 	FilesCreated     int64
 	FilesDeleted     int64

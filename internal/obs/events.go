@@ -1,0 +1,211 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+	"unicode/utf8"
+)
+
+// DefaultRingCap is the per-stream event capacity when none is given:
+// large enough to hold every per-day event of a paper-scale run, small
+// enough that a runaway per-operation instrument cannot exhaust memory.
+const DefaultRingCap = 4096
+
+// Attr is one typed event attribute. Attributes are an ordered list,
+// not a map, so encoded events are byte-identical run to run.
+type Attr struct {
+	Key   string
+	Value attrValue
+}
+
+// attrValue is the closed set of attribute payloads.
+type attrValue struct {
+	kind byte // 'i', 'f', 's', 'b'
+	i    int64
+	f    float64
+	s    string
+	b    bool
+}
+
+// I returns an int64 attribute.
+func I(key string, v int64) Attr { return Attr{key, attrValue{kind: 'i', i: v}} }
+
+// F returns a float64 attribute.
+func F(key string, v float64) Attr { return Attr{key, attrValue{kind: 'f', f: v}} }
+
+// S returns a string attribute.
+func S(key, v string) Attr { return Attr{key, attrValue{kind: 's', s: v}} }
+
+// B returns a bool attribute.
+func B(key string, v bool) Attr { return Attr{key, attrValue{kind: 'b', b: v}} }
+
+// Event is one traced occurrence at a point in simulated time. The
+// unit of T is the stream's choice (the aging streams use days); it is
+// never wall-clock.
+type Event struct {
+	Seq   int64 // position in the stream, counting from 0, drops included
+	T     float64
+	Name  string
+	Attrs []Attr
+}
+
+// Tracer is one bounded event stream: a ring buffer that keeps the
+// most recent cap events and counts what it dropped. Streams follow
+// the same single-writer convention as float metrics; emitting is
+// nevertheless mutex-guarded so a misbehaving caller corrupts nothing.
+type Tracer struct {
+	name string
+
+	mu      sync.Mutex
+	cap     int
+	seq     int64
+	dropped int64
+	ring    []Event
+	start   int // index of the oldest event in ring once full
+}
+
+// Tracer returns (creating if needed) the named event stream with the
+// default ring capacity.
+func (r *Registry) Tracer(name string) *Tracer { return r.TracerCap(name, DefaultRingCap) }
+
+// TracerCap is Tracer with an explicit ring capacity for new streams;
+// an existing stream keeps its capacity.
+func (r *Registry) TracerCap(name string, cap int) *Tracer {
+	if cap < 1 {
+		cap = 1
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t := r.tracers[name]
+	if t == nil {
+		t = &Tracer{name: name, cap: cap}
+		r.tracers[name] = t
+	}
+	return t
+}
+
+// Name returns the stream name.
+func (t *Tracer) Name() string { return t.name }
+
+// Emit appends an event at simulated time simT.
+func (t *Tracer) Emit(simT float64, name string, attrs ...Attr) {
+	t.mu.Lock()
+	ev := Event{Seq: t.seq, T: simT, Name: name, Attrs: attrs}
+	t.seq++
+	if len(t.ring) < t.cap {
+		t.ring = append(t.ring, ev)
+	} else {
+		t.ring[t.start] = ev
+		t.start = (t.start + 1) % t.cap
+		t.dropped++
+	}
+	t.mu.Unlock()
+}
+
+// Len returns the number of buffered events.
+func (t *Tracer) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.ring)
+}
+
+// Dropped returns how many events the ring has evicted.
+func (t *Tracer) Dropped() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// Events returns the buffered events, oldest first.
+func (t *Tracer) Events() []Event {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Event, 0, len(t.ring))
+	out = append(out, t.ring[t.start:]...)
+	out = append(out, t.ring[:t.start]...)
+	return out
+}
+
+// WriteEvents writes every stream's buffered events as JSONL: streams
+// in sorted name order, events oldest first, attributes in emission
+// order. A stream that evicted events announces it with one leading
+// "drops" record so a truncated trace is never mistaken for a complete
+// one.
+func (r *Registry) WriteEvents(w io.Writer) error {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.tracers))
+	for name := range r.tracers {
+		names = append(names, name)
+	}
+	byName := make(map[string]*Tracer, len(r.tracers))
+	for name, t := range r.tracers {
+		byName[name] = t
+	}
+	r.mu.Unlock()
+	sort.Strings(names)
+
+	bw := bufio.NewWriter(w)
+	for _, name := range names {
+		t := byName[name]
+		if d := t.Dropped(); d > 0 {
+			fmt.Fprintf(bw, `{"stream":%s,"event":"drops","dropped":%d}`+"\n", jsonString(name), d)
+		}
+		for _, ev := range t.Events() {
+			writeEventJSON(bw, name, ev)
+		}
+	}
+	return bw.Flush()
+}
+
+func writeEventJSON(w *bufio.Writer, stream string, ev Event) {
+	fmt.Fprintf(w, `{"stream":%s,"seq":%d,"t":%s,"event":%s`,
+		jsonString(stream), ev.Seq, formatFloat(ev.T), jsonString(ev.Name))
+	for _, a := range ev.Attrs {
+		w.WriteByte(',')
+		w.WriteString(jsonString(a.Key))
+		w.WriteByte(':')
+		switch a.Value.kind {
+		case 'i':
+			w.WriteString(strconv.FormatInt(a.Value.i, 10))
+		case 'f':
+			w.WriteString(formatFloat(a.Value.f))
+		case 's':
+			w.WriteString(jsonString(a.Value.s))
+		case 'b':
+			w.WriteString(strconv.FormatBool(a.Value.b))
+		}
+	}
+	w.WriteString("}\n")
+}
+
+// jsonString renders s as a JSON string literal. Only the escapes JSON
+// requires are applied, so output is stable and minimal.
+func jsonString(s string) string {
+	out := make([]byte, 0, len(s)+2)
+	out = append(out, '"')
+	for _, r := range s {
+		switch {
+		case r == '"':
+			out = append(out, '\\', '"')
+		case r == '\\':
+			out = append(out, '\\', '\\')
+		case r == '\n':
+			out = append(out, '\\', 'n')
+		case r == '\t':
+			out = append(out, '\\', 't')
+		case r == '\r':
+			out = append(out, '\\', 'r')
+		case r < 0x20:
+			out = append(out, fmt.Sprintf(`\u%04x`, r)...)
+		default:
+			var buf [utf8.UTFMax]byte
+			n := utf8.EncodeRune(buf[:], r)
+			out = append(out, buf[:n]...)
+		}
+	}
+	return string(append(out, '"'))
+}

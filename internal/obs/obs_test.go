@@ -1,0 +1,177 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("a.count")
+	c.Inc()
+	c.Add(4)
+	if got := r.Counter("a.count").Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	g := r.Gauge("a.gauge")
+	g.Set(1.5)
+	g.Set(-2.25)
+	if got := r.Gauge("a.gauge").Value(); got != -2.25 {
+		t.Errorf("gauge = %v, want -2.25", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", []float64{10, 20})
+	if h.NumBuckets() != 3 {
+		t.Fatalf("NumBuckets = %d", h.NumBuckets())
+	}
+	h.Observe(5, 0.5)   // bucket 0 (≤10)
+	h.Observe(10, 1.0)  // bucket 0 (inclusive upper bound)
+	h.Observe(15, 2.0)  // bucket 1
+	h.Observe(100, 4.0) // +Inf bucket
+	if n, s := h.Bucket(0); n != 2 || s != 1.5 {
+		t.Errorf("bucket 0 = (%d, %v), want (2, 1.5)", n, s)
+	}
+	if n, s := h.Bucket(2); n != 1 || s != 4.0 {
+		t.Errorf("bucket 2 = (%d, %v), want (1, 4)", n, s)
+	}
+	if h.Count() != 4 || h.Sum() != 7.5 {
+		t.Errorf("totals = (%d, %v), want (4, 7.5)", h.Count(), h.Sum())
+	}
+	h.AddBucket(1, 3, 0.25)
+	if n, s := h.Bucket(1); n != 4 || s != 2.25 {
+		t.Errorf("after AddBucket: bucket 1 = (%d, %v)", n, s)
+	}
+}
+
+func TestScopePrefixing(t *testing.T) {
+	r := NewRegistry()
+	sc := r.Scope("aging").Scope("age-ffs")
+	sc.Counter("ops").Add(7)
+	if got := r.Counter("aging.age-ffs.ops").Value(); got != 7 {
+		t.Errorf("scoped counter = %d, want 7", got)
+	}
+	sc.Tracer("days").Emit(1, "day")
+	var buf bytes.Buffer
+	if err := r.WriteEvents(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"stream":"aging.age-ffs.days"`) {
+		t.Errorf("events missing scoped stream: %q", buf.String())
+	}
+}
+
+func TestWriteMetricsSortedAndStable(t *testing.T) {
+	build := func() *Registry {
+		r := NewRegistry()
+		// Insertion order deliberately scrambled relative to name order.
+		r.Gauge("z.final").Set(0.5)
+		r.Counter("a.count").Add(3)
+		r.Histogram("m.hist", []float64{1, 2}).Observe(1.5, 0.125)
+		r.Counter("b.count").Add(1)
+		return r
+	}
+	var a, b bytes.Buffer
+	if err := build().WriteMetrics(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := build().WriteMetrics(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Errorf("snapshots differ:\n%s\nvs\n%s", a.String(), b.String())
+	}
+	want := `# ffsage metrics snapshot v1
+counter a.count 3
+counter b.count 1
+hist m.hist le=1 count=0 sum=0
+hist m.hist le=2 count=1 sum=0.125
+hist m.hist le=+Inf count=0 sum=0
+hist m.hist total count=1 sum=0.125
+gauge z.final 0.5
+`
+	if a.String() != want {
+		t.Errorf("snapshot:\n%s\nwant:\n%s", a.String(), want)
+	}
+}
+
+func TestTracerRingDropsOldest(t *testing.T) {
+	r := NewRegistry()
+	tr := r.TracerCap("s", 3)
+	for i := 0; i < 5; i++ {
+		tr.Emit(float64(i), "e", I("i", int64(i)))
+	}
+	if tr.Len() != 3 || tr.Dropped() != 2 {
+		t.Fatalf("len=%d dropped=%d", tr.Len(), tr.Dropped())
+	}
+	evs := tr.Events()
+	if evs[0].T != 2 || evs[2].T != 4 {
+		t.Errorf("ring kept wrong window: %+v", evs)
+	}
+	if evs[0].Seq != 2 || evs[2].Seq != 4 {
+		t.Errorf("seq not absolute: %+v", evs)
+	}
+	var buf bytes.Buffer
+	if err := r.WriteEvents(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"event":"drops","dropped":2`) {
+		t.Errorf("missing drops record: %q", buf.String())
+	}
+}
+
+// TestEventsAreValidJSON decodes every emitted line with the stock
+// decoder, pinning the hand-rolled encoder to real JSON.
+func TestEventsAreValidJSON(t *testing.T) {
+	r := NewRegistry()
+	tr := r.Tracer("json")
+	tr.Emit(1.5, "weird", S("s", "a\"b\\c\nd\tߜ"), I("n", -3), F("f", 0.1), B("ok", true))
+	var buf bytes.Buffer
+	if err := r.WriteEvents(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("invalid JSON %q: %v", line, err)
+		}
+		if m["s"] != "a\"b\\c\nd\tߜ" {
+			t.Errorf("string attr round-trip: %q", m["s"])
+		}
+	}
+}
+
+func TestJobCapture(t *testing.T) {
+	r := NewRegistry()
+	r.AppendJobs([]JobStat{{Label: "ignored"}})
+	if len(r.Jobs()) != 0 {
+		t.Error("jobs captured while disabled")
+	}
+	r.CaptureJobs(true)
+	r.AppendJobs([]JobStat{
+		{Label: "a", Wall: time.Second},
+		{Label: "b", Err: errors.New("boom")},
+	})
+	jobs := r.Jobs()
+	if len(jobs) != 2 || jobs[0].Label != "a" || jobs[1].Err == nil {
+		t.Errorf("jobs = %+v", jobs)
+	}
+	// Job telemetry must never reach the metrics snapshot.
+	var buf bytes.Buffer
+	if err := r.WriteMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "a") && strings.Contains(buf.String(), "boom") {
+		t.Errorf("job telemetry leaked into metrics: %q", buf.String())
+	}
+	r.CaptureJobs(false)
+	if len(r.Jobs()) != 0 {
+		t.Error("CaptureJobs(false) did not clear")
+	}
+}

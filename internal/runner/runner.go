@@ -19,6 +19,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"ffsage/internal/obs"
 )
 
 // workers is the process-wide worker bound; 0 means GOMAXPROCS.
@@ -41,41 +43,22 @@ func Workers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
-// Stat is one finished job's telemetry.
-type Stat struct {
-	Label string
-	Wall  time.Duration
-	// AllocBytes is the process-wide heap allocation delta observed
-	// while the job ran. With concurrent jobs it includes their
-	// allocations too, so read it as an upper bound.
-	AllocBytes uint64
-	Err        error
-}
-
-var (
-	telMu  sync.Mutex
-	telOn  bool
-	telLog []Stat
-)
+// Stat is one finished job's telemetry. It is the obs registry's job
+// record: the process-wide log lives in obs.Default, so commands that
+// snapshot metrics and commands that print the timing footer read from
+// one place. Wall-clock stats stay out of metrics snapshots by
+// construction (obs.Registry.WriteMetrics excludes jobs).
+type Stat = obs.JobStat
 
 // CaptureTelemetry enables (or disables) the process-wide telemetry
 // log and clears it. While disabled — the default — Wait discards
 // job stats after returning them, so long-running test processes do
 // not accumulate history.
-func CaptureTelemetry(on bool) {
-	telMu.Lock()
-	defer telMu.Unlock()
-	telOn = on
-	telLog = nil
-}
+func CaptureTelemetry(on bool) { obs.Default.CaptureJobs(on) }
 
 // Telemetry returns a copy of the captured job stats, in the order the
 // groups finished and, within a group, in submission order.
-func Telemetry() []Stat {
-	telMu.Lock()
-	defer telMu.Unlock()
-	return append([]Stat(nil), telLog...)
-}
+func Telemetry() []Stat { return obs.Default.Jobs() }
 
 // Group runs jobs on a bounded worker pool. Submit with Go, then call
 // Wait exactly once. The zero value is unusable; construct with New.
@@ -180,11 +163,7 @@ func (g *Group) Wait() ([]Stat, error) {
 	if firstErr == nil {
 		firstErr = firstCancel
 	}
-	telMu.Lock()
-	if telOn {
-		telLog = append(telLog, g.stats...)
-	}
-	telMu.Unlock()
+	obs.Default.AppendJobs(g.stats)
 	return g.stats, firstErr
 }
 
