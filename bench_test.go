@@ -3,9 +3,15 @@
 // suite runs in minutes. cmd/repro performs the same experiments at the
 // paper's full scale. Each benchmark reports its exhibit's headline
 // metric alongside the timing.
+//
+// Hot-path micro-benchmarks live in internal/perfbench and are driven
+// here through BenchmarkHotPaths, so `go test -bench` and
+// cmd/perfbench measure the same registered operations on the same
+// fixtures and cannot drift apart.
 package ffsage_test
 
 import (
+	"sort"
 	"sync"
 	"testing"
 	"time"
@@ -14,8 +20,7 @@ import (
 	"ffsage/internal/bench"
 	"ffsage/internal/core"
 	"ffsage/internal/experiments"
-	"ffsage/internal/ffs"
-	"ffsage/internal/layout"
+	"ffsage/internal/perfbench"
 	"ffsage/internal/runner"
 	"ffsage/internal/workload"
 )
@@ -40,19 +45,48 @@ func sharedSuite(b *testing.B) *experiments.Suite {
 	return suite
 }
 
-// BenchmarkWorkloadGeneration times the Section 3.1 pipeline: reference
-// simulation, snapshots, diff, NFS-trace merge.
-func BenchmarkWorkloadGeneration(b *testing.B) {
-	cfg := experiments.Quick(1996)
-	var ops int
-	for i := 0; i < b.N; i++ {
-		w, err := workload.BuildWorkload(cfg.WorkloadCfg, cfg.NFSCfg)
-		if err != nil {
-			b.Fatal(err)
-		}
-		ops = len(w.Reconstructed.Ops)
+// BenchmarkHotPaths drives every benchmark registered in
+// internal/perfbench — the continuous-benchmarking registry behind
+// cmd/perfbench and the committed BENCH_*.json trajectory — as
+// testing sub-benchmarks. The fixture, the fixed work units, and the
+// measured operations are exactly the ones cmd/perfbench times;
+// b.ReportMetric surfaces the same derived rates (ops/s, MB/s).
+func BenchmarkHotPaths(b *testing.B) {
+	fx, err := perfbench.NewFixture(1996)
+	if err != nil {
+		b.Fatal(err)
 	}
-	b.ReportMetric(float64(ops), "ops")
+	for _, bm := range perfbench.All() {
+		b.Run(bm.Name, func(b *testing.B) {
+			inst, err := bm.Setup(fx)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				if err := inst.Op(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			elapsed := time.Since(start)
+			if inst.Units > 1 {
+				b.ReportMetric(float64(elapsed.Nanoseconds())/float64(b.N)/float64(inst.Units), "ns/unit")
+			}
+			if inst.Metrics != nil && b.N > 0 && elapsed > 0 {
+				medianSec := elapsed.Seconds() / float64(b.N)
+				m := inst.Metrics(medianSec)
+				names := make([]string, 0, len(m))
+				for name := range m {
+					names = append(names, name)
+				}
+				sort.Strings(names)
+				for _, name := range names {
+					b.ReportMetric(m[name], name)
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkFig1AgingValidation regenerates Figure 1: the ground-truth
@@ -224,53 +258,6 @@ func BenchmarkAblationMaxContig(b *testing.B) {
 	b.ReportMetric(spread, "layout-spread")
 }
 
-// BenchmarkAgingReplayThroughput measures the replayer itself: how fast
-// the simulator applies workload operations.
-func BenchmarkAgingReplayThroughput(b *testing.B) {
-	cfg := experiments.Quick(1996)
-	w, err := workload.BuildWorkload(cfg.WorkloadCfg, cfg.NFSCfg)
-	if err != nil {
-		b.Fatal(err)
-	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := aging.Replay(cfg.FsParams, core.Realloc{}, w.Reconstructed, aging.Options{}); err != nil {
-			b.Fatal(err)
-		}
-	}
-	b.ReportMetric(float64(len(w.Reconstructed.Ops)), "ops/iter")
-}
-
-// BenchmarkLayoutScore measures the layout-score computation over a
-// full aged image by full rescan — the cost the replayer used to pay
-// once per simulated day before the incremental counters.
-func BenchmarkLayoutScore(b *testing.B) {
-	s := sharedSuite(b)
-	b.ResetTimer()
-	var agg float64
-	for i := 0; i < b.N; i++ {
-		agg = layout.FsAggregate(s.AgedFFS.Fs)
-	}
-	b.ReportMetric(agg, "layout")
-}
-
-// BenchmarkLayoutScoreIncremental measures the O(1) per-day path the
-// replayer now uses: the allocator-maintained counters. Compare with
-// BenchmarkLayoutScore, the rescan it replaced; the two values are
-// equal by construction.
-func BenchmarkLayoutScoreIncremental(b *testing.B) {
-	s := sharedSuite(b)
-	if got, want := s.AgedFFS.Fs.LayoutScore(), layout.FsAggregate(s.AgedFFS.Fs); got != want {
-		b.Fatalf("incremental score %v != rescan %v", got, want)
-	}
-	b.ResetTimer()
-	var agg float64
-	for i := 0; i < b.N; i++ {
-		agg = s.AgedFFS.Fs.LayoutScore()
-	}
-	b.ReportMetric(agg, "layout")
-}
-
 // BenchmarkParallelSweepSpeedup runs the Figure 4 sequential sweep with
 // one worker and with the full worker pool, reporting the wall-time
 // ratio. The sweep's size points are independent, so on an N-core
@@ -294,16 +281,4 @@ func BenchmarkParallelSweepSpeedup(b *testing.B) {
 	parallel := run(runner.Workers())
 	b.ReportMetric(serial.Seconds()/parallel.Seconds(), "x-speedup")
 	b.ReportMetric(float64(runner.Workers()), "workers")
-}
-
-// BenchmarkFsClone measures image cloning, which every benchmark run
-// performs to keep the aged images pristine.
-func BenchmarkFsClone(b *testing.B) {
-	s := sharedSuite(b)
-	b.ResetTimer()
-	var fsys *ffs.FileSystem
-	for i := 0; i < b.N; i++ {
-		fsys = s.AgedRealloc.Fs.Clone()
-	}
-	_ = fsys
 }

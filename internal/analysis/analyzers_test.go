@@ -5,11 +5,14 @@ import (
 )
 
 func TestDetrandFixtures(t *testing.T) {
+	// detrand/perfbench mirrors ffsage/internal/perfbench: covered,
+	// but NOT on the TimeOK allowlist — wall-clock reads pass only
+	// under a justified //lint:ignore in its measurement core.
 	a := Detrand(DetrandConfig{
-		Packages: []string{"detrand/a", "detrand/bench", "detrand/obs"},
+		Packages: []string{"detrand/a", "detrand/bench", "detrand/obs", "detrand/perfbench"},
 		TimeOK:   []string{"detrand/bench"},
 	})
-	for _, path := range []string{"detrand/a", "detrand/bench", "detrand/other", "detrand/obs"} {
+	for _, path := range []string{"detrand/a", "detrand/bench", "detrand/other", "detrand/obs", "detrand/perfbench"} {
 		t.Run(path, func(t *testing.T) { runFixture(t, a, path) })
 	}
 }

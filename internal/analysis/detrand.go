@@ -36,6 +36,11 @@ func DefaultDetrandConfig() DetrandConfig {
 			"ffsage/internal/experiments",
 			"ffsage/internal/bench",
 			"ffsage/internal/obs",
+			// perfbench is covered WITHOUT a TimeOK entry: its
+			// wall-clock reads are confined to the measurement core
+			// (clock.go), each behind a justified //lint:ignore, so a
+			// time.Now creeping into fixtures or summaries is flagged.
+			"ffsage/internal/perfbench",
 			"ffsage",
 		},
 		TimeOK: []string{

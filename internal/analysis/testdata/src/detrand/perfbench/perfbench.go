@@ -1,0 +1,50 @@
+// Package perfbench is a detrand fixture mirroring
+// ffsage/internal/perfbench: a benchmark harness that is covered by
+// the determinism check with NO TimeOK exemption. Wall-clock reads are
+// legal only behind a justified //lint:ignore in the measurement core;
+// anywhere else they are flagged, and random draws must always come
+// from an injected seeded generator.
+package perfbench
+
+import (
+	"math/rand"
+	"time"
+)
+
+// sample is the sanctioned measurement core: the suppression names the
+// analyzer and carries a reason, so the read is allowed.
+func sample() time.Duration {
+	//lint:ignore ffsvet/detrand wall-clock reads here ARE the measurement; samples are reported, never fed into simulated state
+	t0 := time.Now()
+	//lint:ignore ffsvet/detrand wall-clock reads here ARE the measurement; samples are reported, never fed into simulated state
+	return time.Since(t0)
+}
+
+// leakedClock is a wall-clock read outside the measurement core —
+// exactly what coverage without TimeOK must catch.
+func leakedClock() int64 {
+	return time.Now().UnixNano() // want `time\.Now reads the wall clock`
+}
+
+// bootstrap resamples with an injected seeded generator: the required
+// idiom, no finding.
+func bootstrap(rng *rand.Rand, xs []float64) float64 {
+	return xs[rng.Intn(len(xs))]
+}
+
+// jitter draws from the process-global generator, which is forbidden
+// even in a benchmark harness.
+func jitter() float64 {
+	return rand.Float64() // want `rand\.Float64 draws from the process-global generator`
+}
+
+// reseed builds a seeded generator, the sanctioned constructor path.
+func reseed(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+var _ = sample
+var _ = leakedClock
+var _ = bootstrap
+var _ = jitter
+var _ = reseed

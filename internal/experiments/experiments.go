@@ -125,6 +125,40 @@ func Quick(seed int64) Config {
 	}
 }
 
+// Micro returns a further-scaled-down configuration — a 64 MB file
+// system aged for 16 days — sized so that a full workload build plus
+// two aged images costs a few seconds. It is the fixture scale of
+// internal/perfbench (and of unit tests that need an aged image but
+// not the Quick suite's fidelity); the policy gap survives even this
+// scaling, but the paper's quantitative claims do not, so Micro is
+// never used for exhibit generation.
+func Micro(seed int64) Config {
+	fp := ffs.PaperParams()
+	fp.SizeBytes = 64 << 20
+	fp.NumCg = 6
+	wc := workload.DefaultConfig(seed)
+	wc.Days = 16
+	wc.NumCg = fp.NumCg
+	wc.FsBytes = fp.SizeBytes
+	wc.RampDays = 4
+	wc.ChurnBytesPerDay = 13 << 20
+	wc.ShortPairsPerDay = 90
+	wc.LongSize.MaxBytes = 4 << 20
+	nc := workload.DefaultNFSTraceConfig(seed + 1)
+	nc.PairsPerDay = 60
+	kb := func(n int64) int64 { return n << 10 }
+	return Config{
+		Seed:        seed,
+		FsParams:    fp,
+		WorkloadCfg: wc,
+		NFSCfg:      nc,
+		DiskParams:  disk.PaperParams(),
+		BenchTotal:  4 << 20,
+		BenchSizes:  []int64{kb(16), kb(64), kb(96), kb(256), kb(1024)},
+		HotWindow:   5,
+	}
+}
+
 // Suite holds the shared state of one reproduction run.
 type Suite struct {
 	Cfg   Config

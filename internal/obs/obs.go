@@ -176,6 +176,21 @@ func (r *Registry) Counter(name string) *Counter {
 	return c
 }
 
+// CounterValue returns the named counter's current value without
+// creating it. It is the read-only probe consumers like
+// internal/perfbench use to derive throughput metrics (ops/s, MB/s)
+// from counters an instrumented run already published, instead of
+// re-measuring the quantities themselves.
+func (r *Registry) CounterValue(name string) (int64, bool) {
+	r.mu.Lock()
+	c := r.counters[name]
+	r.mu.Unlock()
+	if c == nil {
+		return 0, false
+	}
+	return c.Value(), true
+}
+
 // Gauge returns (creating if needed) the named gauge.
 func (r *Registry) Gauge(name string) *Gauge {
 	r.mu.Lock()

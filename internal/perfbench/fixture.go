@@ -1,0 +1,79 @@
+package perfbench
+
+import (
+	"fmt"
+	"sync"
+
+	"ffsage/internal/aging"
+	"ffsage/internal/core"
+	"ffsage/internal/experiments"
+	"ffsage/internal/obs"
+	"ffsage/internal/workload"
+)
+
+// Fixture is the shared state every benchmark closes over: the
+// micro-scale workload and the two aged images, built once per seed.
+// Both come through internal/experiments' process-wide caches, so the
+// fixture, the root bench_test.go, and any unit test asking for the
+// same seed pay for one build between them. Obs carries the metrics
+// the aged replays published (allocation counters, op totals); macro
+// benchmarks derive their throughput numbers from those counters
+// instead of re-measuring.
+type Fixture struct {
+	Seed  int64
+	Cfg   experiments.Config
+	Build *workload.Build
+	// AgedFFS and AgedRealloc are the micro images aged under the two
+	// policies. Benchmarks treat them as read-only; anything mutating
+	// works on a Clone.
+	AgedFFS     *aging.Result
+	AgedRealloc *aging.Result
+	// Obs is the fixture's private registry. NewFixture publishes the
+	// two aged replays under aging.micro-ffs / aging.micro-realloc;
+	// the single-day replay benchmark publishes under aging.day on
+	// first setup.
+	Obs *obs.Registry
+
+	dayOnce sync.Once
+}
+
+// NewFixture builds (or fetches from the experiments cache) the
+// perfbench fixture for a seed.
+func NewFixture(seed int64) (*Fixture, error) {
+	cfg := experiments.Micro(seed)
+	b, err := experiments.CachedBuild(cfg.WorkloadCfg, cfg.NFSCfg)
+	if err != nil {
+		return nil, fmt.Errorf("perfbench: building micro workload: %w", err)
+	}
+	key := fmt.Sprintf("perfbench-micro|seed=%d|reconstructed", seed)
+	aged, err := experiments.CachedAgedImage(cfg.FsParams, core.Original{}, b.Reconstructed, key, aging.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("perfbench: aging micro image (ffs): %w", err)
+	}
+	agedRe, err := experiments.CachedAgedImage(cfg.FsParams, core.Realloc{}, b.Reconstructed, key, aging.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("perfbench: aging micro image (realloc): %w", err)
+	}
+	fx := &Fixture{
+		Seed:        seed,
+		Cfg:         cfg,
+		Build:       b,
+		AgedFFS:     aged,
+		AgedRealloc: agedRe,
+		Obs:         obs.NewRegistry(),
+	}
+	aging.PublishResult(fx.Obs.Scope("aging.micro-ffs"), aged, b.Reconstructed)
+	aging.PublishResult(fx.Obs.Scope("aging.micro-realloc"), agedRe, b.Reconstructed)
+	return fx, nil
+}
+
+// counter returns a published counter's value, failing loudly when the
+// name is missing: a metric derivation reading a counter nobody
+// published is a wiring bug, not a zero.
+func (fx *Fixture) counter(name string) (int64, error) {
+	v, ok := fx.Obs.CounterValue(name)
+	if !ok {
+		return 0, fmt.Errorf("perfbench: no published counter %q", name)
+	}
+	return v, nil
+}

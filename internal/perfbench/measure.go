@@ -1,0 +1,178 @@
+package perfbench
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"regexp"
+	"runtime"
+	"sort"
+
+	"ffsage/internal/stats"
+)
+
+// Options tune a suite run. The zero value is not useful; start from
+// DefaultOptions.
+type Options struct {
+	// Reps is the number of timed repetitions per benchmark; Warmup
+	// runs precede them unmeasured (cache warming, JIT-free Go still
+	// wants page faults and branch predictors settled).
+	Reps   int
+	Warmup int
+	// Seed feeds the fixture and every summary's bootstrap generator,
+	// so a report built from the same samples is byte-identical.
+	Seed int64
+	// Confidence is the bootstrap interval's coverage (default 0.95);
+	// Resamples the bootstrap's resample count (default 200).
+	Confidence float64
+	Resamples  int
+	// Full includes the benchmarks outside the quick suite.
+	Full bool
+	// Run, when non-nil, keeps only benchmarks whose name matches.
+	Run *regexp.Regexp
+	// Progress, when non-nil, is called before each benchmark runs.
+	Progress func(name string)
+}
+
+// DefaultOptions returns the settings CI's bench-smoke job uses.
+func DefaultOptions(seed int64) Options {
+	return Options{
+		Reps:       7,
+		Warmup:     1,
+		Seed:       seed,
+		Confidence: 0.95,
+		Resamples:  200,
+	}
+}
+
+func (o Options) withDefaults() Options {
+	if o.Reps <= 0 {
+		o.Reps = 7
+	}
+	if o.Warmup < 0 {
+		o.Warmup = 0
+	}
+	if o.Confidence <= 0 || o.Confidence >= 1 {
+		o.Confidence = 0.95
+	}
+	if o.Resamples <= 0 {
+		o.Resamples = 200
+	}
+	return o
+}
+
+// RunSuite measures every selected benchmark and returns the report,
+// benchmarks sorted by name.
+func RunSuite(fx *Fixture, opts Options) (*Report, error) {
+	opts = opts.withDefaults()
+	var results []Result
+	for _, bm := range All() {
+		if !opts.Full && !bm.Quick {
+			continue
+		}
+		if opts.Run != nil && !opts.Run.MatchString(bm.Name) {
+			continue
+		}
+		if opts.Progress != nil {
+			opts.Progress(bm.Name)
+		}
+		inst, err := bm.Setup(fx)
+		if err != nil {
+			return nil, fmt.Errorf("perfbench: setup %s: %w", bm.Name, err)
+		}
+		samples, err := measure(inst, opts)
+		if err != nil {
+			return nil, fmt.Errorf("perfbench: measuring %s: %w", bm.Name, err)
+		}
+		results = append(results, Summarize(bm.Name, inst, samples, opts))
+	}
+	if len(results) == 0 {
+		return nil, fmt.Errorf("perfbench: no benchmarks selected")
+	}
+	sort.Slice(results, func(i, j int) bool { return results[i].Name < results[j].Name })
+	suite := "quick"
+	if opts.Full {
+		suite = "full"
+	}
+	return &Report{
+		Schema:     SchemaVersion,
+		Suite:      suite,
+		Seed:       opts.Seed,
+		Reps:       opts.Reps,
+		Confidence: opts.Confidence,
+		Resamples:  opts.Resamples,
+		Benchmarks: results,
+	}, nil
+}
+
+// measure runs the warmup and timed repetitions, returning per-rep
+// nanosecond samples. The GC barrier between warmup and measurement
+// puts every benchmark's timed loop behind the same heap state:
+// without it, allocation-heavy benchmarks (checkpoint encode, clone)
+// measure whatever garbage the previous benchmark left behind, and
+// medians swing several-fold between otherwise identical runs.
+func measure(inst *Instance, opts Options) ([]float64, error) {
+	for i := 0; i < opts.Warmup; i++ {
+		if err := inst.Op(); err != nil {
+			return nil, err
+		}
+	}
+	runtime.GC()
+	samples := make([]float64, opts.Reps)
+	for i := range samples {
+		t0 := now()
+		err := inst.Op()
+		d := since(t0)
+		if err != nil {
+			return nil, err
+		}
+		samples[i] = float64(d.Nanoseconds())
+	}
+	return samples, nil
+}
+
+// Summarize reduces one benchmark's samples to its Result. It is a
+// pure function of (name, instance, samples, opts): the bootstrap
+// generator is seeded from opts.Seed and the benchmark name, so the
+// summary does not depend on suite order or filtering, and fixed
+// samples always produce identical output.
+func Summarize(name string, inst *Instance, samplesNs []float64, opts Options) Result {
+	opts = opts.withDefaults()
+	rng := rand.New(rand.NewSource(opts.Seed ^ nameSeed(name)))
+	med := stats.Median(samplesNs)
+	lo, hi := stats.BootstrapCI(samplesNs, opts.Confidence, opts.Resamples, rng)
+	units := inst.Units
+	if units <= 0 {
+		units = 1
+	}
+	res := Result{
+		Name:      name,
+		Units:     units,
+		Reps:      len(samplesNs),
+		SamplesNs: samplesNs,
+		MedianNs:  med,
+		MADNs:     stats.MAD(samplesNs),
+		CILoNs:    lo,
+		CIHiNs:    hi,
+		NsPerOp:   med / float64(units),
+	}
+	if med > 0 {
+		res.Metrics = map[string]float64{"ops_per_s": float64(units) / (med * 1e-9)}
+	}
+	if inst.Metrics != nil {
+		for k, v := range inst.Metrics(med * 1e-9) {
+			if res.Metrics == nil {
+				res.Metrics = map[string]float64{}
+			}
+			res.Metrics[k] = v
+		}
+	}
+	return res
+}
+
+// nameSeed folds a benchmark name into a stable 63-bit seed component.
+func nameSeed(name string) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	return int64(h.Sum64() >> 1)
+}

@@ -1,0 +1,111 @@
+package perfbench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// SchemaVersion names the report layout. Readers reject reports from a
+// different schema instead of mis-parsing them; bump it whenever a
+// field changes meaning.
+const SchemaVersion = "ffsage-perfbench/v1"
+
+// Result is one benchmark's summary in the report: the raw samples
+// (so a future reader can re-derive any statistic), the robust
+// summary, and derived throughput metrics. All durations are
+// nanoseconds.
+type Result struct {
+	Name      string    `json:"name"`
+	Units     int64     `json:"units"`
+	Reps      int       `json:"reps"`
+	SamplesNs []float64 `json:"samples_ns"`
+	MedianNs  float64   `json:"median_ns"`
+	MADNs     float64   `json:"mad_ns"`
+	CILoNs    float64   `json:"ci_lo_ns"`
+	CIHiNs    float64   `json:"ci_hi_ns"`
+	NsPerOp   float64   `json:"ns_per_op"`
+	// Metrics holds derived rates (ops_per_s, mb_per_s, ...).
+	// encoding/json marshals map keys sorted, so output stays
+	// byte-stable.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is the versioned machine-readable output of one suite run —
+// the BENCH_*.json trajectory format. It deliberately carries no
+// timestamp or hostname: the committed baseline must be byte-stable
+// under re-summarization, and detrand keeps wall-clock identity out of
+// this package anyway.
+type Report struct {
+	Schema     string   `json:"schema"`
+	Suite      string   `json:"suite"`
+	Seed       int64    `json:"seed"`
+	Reps       int      `json:"reps"`
+	Confidence float64  `json:"confidence"`
+	Resamples  int      `json:"resamples"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+// Find returns the named benchmark's result, or nil.
+func (r *Report) Find(name string) *Result {
+	for i := range r.Benchmarks {
+		if r.Benchmarks[i].Name == name {
+			return &r.Benchmarks[i]
+		}
+	}
+	return nil
+}
+
+// WriteReport writes the canonical JSON encoding: two-space indent,
+// trailing newline, benchmarks in the order the report holds them
+// (RunSuite sorts by name).
+func WriteReport(w io.Writer, r *Report) error {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// WriteReportFile writes the report to path.
+func WriteReportFile(path string, r *Report) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteReport(f, r); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadReport parses and validates a report.
+func ReadReport(rd io.Reader) (*Report, error) {
+	var r Report
+	dec := json.NewDecoder(rd)
+	if err := dec.Decode(&r); err != nil {
+		return nil, fmt.Errorf("perfbench: parsing report: %w", err)
+	}
+	if r.Schema != SchemaVersion {
+		return nil, fmt.Errorf("perfbench: report schema %q, want %q", r.Schema, SchemaVersion)
+	}
+	return &r, nil
+}
+
+// ReadReportFile reads a report from path.
+func ReadReportFile(path string) (*Report, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	r, err := ReadReport(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return r, nil
+}

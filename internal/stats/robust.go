@@ -1,0 +1,73 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Robust summaries for wall-clock benchmark samples (internal/perfbench).
+// Timing distributions are skewed and spiky — a single descheduling
+// event can double one sample — so the benchmark harness reports the
+// median with a MAD spread and a bootstrap confidence interval instead
+// of mean ± stddev. Everything here is a pure function of its inputs;
+// the bootstrap draws its resamples from a caller-seeded generator, so
+// the summary of a fixed sample set is byte-for-byte reproducible.
+
+// Median returns the middle value of xs (the mean of the two middle
+// values for even lengths), or 0 for an empty slice. xs is not
+// modified.
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	mid := len(sorted) / 2
+	if len(sorted)%2 == 1 {
+		return sorted[mid]
+	}
+	return (sorted[mid-1] + sorted[mid]) / 2
+}
+
+// MAD returns the median absolute deviation from the median, a robust
+// spread estimate: unlike the standard deviation, one wild outlier
+// moves it hardly at all. It returns 0 for fewer than two samples.
+func MAD(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Median(xs)
+	dev := make([]float64, len(xs))
+	for i, x := range xs {
+		dev[i] = math.Abs(x - m)
+	}
+	return Median(dev)
+}
+
+// BootstrapCI returns a percentile-bootstrap confidence interval for
+// the median of xs: resamples sample sets of the same size with
+// replacement, takes each one's median, and reports the (1-conf)/2 and
+// (1+conf)/2 percentiles of those medians. The resampling indices come
+// from rng, so a fixed (xs, conf, resamples, seed) always yields the
+// same interval. Degenerate inputs collapse sensibly: an empty xs
+// yields (0, 0), and a single sample yields (x, x).
+func BootstrapCI(xs []float64, conf float64, resamples int, rng *rand.Rand) (lo, hi float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	if len(xs) == 1 || resamples < 1 {
+		m := Median(xs)
+		return m, m
+	}
+	medians := make([]float64, resamples)
+	resample := make([]float64, len(xs))
+	for i := range medians {
+		for j := range resample {
+			resample[j] = xs[rng.Intn(len(xs))]
+		}
+		medians[i] = Median(resample)
+	}
+	alpha := (1 - conf) / 2 * 100
+	return Percentile(medians, alpha), Percentile(medians, 100-alpha)
+}

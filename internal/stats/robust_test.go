@@ -1,0 +1,69 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestMedian(t *testing.T) {
+	cases := []struct {
+		xs   []float64
+		want float64
+	}{
+		{nil, 0},
+		{[]float64{5}, 5},
+		{[]float64{3, 1}, 2},
+		{[]float64{9, 1, 5}, 5},
+		{[]float64{4, 1, 3, 2}, 2.5},
+	}
+	for _, c := range cases {
+		if got := Median(c.xs); got != c.want {
+			t.Errorf("Median(%v) = %v, want %v", c.xs, got, c.want)
+		}
+	}
+	// Input must not be reordered.
+	xs := []float64{3, 1, 2}
+	Median(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Errorf("Median reordered its input: %v", xs)
+	}
+}
+
+func TestMADRobustToOutlier(t *testing.T) {
+	base := []float64{10, 11, 9, 10, 10, 12, 9}
+	spiked := append(append([]float64(nil), base...), 1e9)
+	if got, want := MAD(base), 1.0; got != want {
+		t.Fatalf("MAD(base) = %v, want %v", got, want)
+	}
+	if MAD(spiked) > 2 {
+		t.Errorf("MAD moved to %v on one outlier; should stay near 1", MAD(spiked))
+	}
+	if MAD([]float64{7}) != 0 || MAD(nil) != 0 {
+		t.Errorf("MAD of degenerate input should be 0")
+	}
+}
+
+func TestBootstrapCIDeterministicInSeed(t *testing.T) {
+	xs := []float64{10, 12, 11, 13, 10, 11, 12, 14, 10, 11}
+	lo1, hi1 := BootstrapCI(xs, 0.95, 200, rand.New(rand.NewSource(42)))
+	lo2, hi2 := BootstrapCI(xs, 0.95, 200, rand.New(rand.NewSource(42)))
+	if lo1 != lo2 || hi1 != hi2 {
+		t.Fatalf("same seed gave different intervals: [%v,%v] vs [%v,%v]", lo1, hi1, lo2, hi2)
+	}
+	if lo1 > hi1 {
+		t.Fatalf("inverted interval [%v, %v]", lo1, hi1)
+	}
+	m := Median(xs)
+	if m < lo1 || m > hi1 {
+		t.Errorf("median %v outside its own CI [%v, %v]", m, lo1, hi1)
+	}
+}
+
+func TestBootstrapCIDegenerate(t *testing.T) {
+	if lo, hi := BootstrapCI(nil, 0.95, 100, rand.New(rand.NewSource(1))); lo != 0 || hi != 0 {
+		t.Errorf("empty input: got [%v, %v], want [0, 0]", lo, hi)
+	}
+	if lo, hi := BootstrapCI([]float64{7}, 0.95, 100, rand.New(rand.NewSource(1))); lo != 7 || hi != 7 {
+		t.Errorf("single sample: got [%v, %v], want [7, 7]", lo, hi)
+	}
+}
