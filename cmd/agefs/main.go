@@ -26,11 +26,12 @@ func main() {
 		imageOut = flag.String("image", "", "save the aged image here")
 		csvOut   = flag.String("csv", "", "write day,layout,utilization CSV here")
 		check    = flag.Int("check", 0, "run the consistency checker every N days (0 = off)")
+		arena    = flag.String("arena", "on", "File-recycling arena: on or off (off is a cross-check; results are identical)")
 		faultStr = flag.String("faults", "", "fault plan to inject, e.g. tear@op:5000 (see internal/faults)")
 		quiet    = flag.Bool("q", false, "suppress per-day progress")
 	)
 	flag.Parse()
-	err := run(*wlPath, *policy, *imageOut, *csvOut, *check, *faultStr, *quiet)
+	err := run(*wlPath, *policy, *imageOut, *csvOut, *check, *arena, *faultStr, *quiet)
 	var crash *faults.Crash
 	if errors.As(err, &crash) {
 		// The interrupted (possibly corrupt) image was still saved, for
@@ -55,7 +56,16 @@ func pickPolicy(name string) (ffs.Policy, error) {
 	}
 }
 
-func run(wlPath, policyName, imageOut, csvOut string, check int, faultStr string, quiet bool) error {
+func run(wlPath, policyName, imageOut, csvOut string, check int, arena, faultStr string, quiet bool) error {
+	opts := aging.Options{CheckEvery: check}
+	switch arena {
+	case "", "on":
+	case "off":
+		opts.NoArena = true
+	default:
+		return fmt.Errorf("-arena=%s: want on or off", arena)
+	}
+
 	f, err := os.Open(wlPath)
 	if err != nil {
 		return err
@@ -78,7 +88,6 @@ func run(wlPath, policyName, imageOut, csvOut string, check int, faultStr string
 	if err != nil {
 		return err
 	}
-	opts := aging.Options{CheckEvery: check}
 	if faultStr != "" {
 		plan, perr := faults.Parse(faultStr)
 		if perr != nil {

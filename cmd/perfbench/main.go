@@ -21,6 +21,8 @@ import (
 	"fmt"
 	"os"
 	"regexp"
+	"runtime"
+	"runtime/pprof"
 	"text/tabwriter"
 
 	"ffsage/internal/perfbench"
@@ -40,8 +42,9 @@ func run() int {
 		conf      = flag.Float64("conf", 0.95, "bootstrap confidence level")
 		resamples = flag.Int("resamples", 200, "bootstrap resample count")
 		jsonOut   = flag.String("json", "", "write the JSON report to this path")
-		baseline  = flag.String("baseline", "BENCH_5.json", "baseline report path for -check / -update")
-		check     = flag.Bool("check", false, "compare against -baseline; exit 1 on confirmed regression")
+		memProf   = flag.String("memprofile", "", "write an allocation (pprof allocs) profile to this path after the run")
+		baseline  = flag.String("baseline", "BENCH_6.json", "baseline report path for -check / -update")
+		check     = flag.Bool("check", false, "compare against -baseline; exit 1 on confirmed regression or blown allocation budget")
 		update    = flag.Bool("update", false, "write this run's report to -baseline")
 		tol       = flag.Float64("tol", 25, "percent median movement tolerated before a difference counts")
 		list      = flag.Bool("list", false, "list registered benchmarks and exit")
@@ -104,6 +107,12 @@ func run() int {
 			return 2
 		}
 	}
+	if *memProf != "" {
+		if err := writeAllocProfile(*memProf); err != nil {
+			fmt.Fprintf(os.Stderr, "perfbench: writing %s: %v\n", *memProf, err)
+			return 2
+		}
+	}
 	if *update {
 		if err := perfbench.WriteReportFile(*baseline, rep); err != nil {
 			fmt.Fprintf(os.Stderr, "perfbench: updating baseline %s: %v\n", *baseline, err)
@@ -123,20 +132,42 @@ func run() int {
 			fmt.Fprintf(os.Stderr, "perfbench: %v\n", err)
 			return 2
 		}
-		if code := perfbench.ExitCode(deltas); code != 0 {
-			bad := perfbench.Regressions(deltas)
-			fmt.Printf("\nREGRESSION: %d benchmark(s) confirmed slower or missing\n", len(bad))
-			return code
+		bad := len(perfbench.Regressions(deltas))
+		if bad > 0 {
+			fmt.Printf("\nREGRESSION: %d benchmark(s) confirmed slower or missing\n", bad)
 		}
-		fmt.Println("\nno confirmed regressions")
+		budget := perfbench.BudgetViolations(rep)
+		for _, v := range budget {
+			fmt.Printf("ALLOC BUDGET: %s\n", v)
+		}
+		if bad > 0 || len(budget) > 0 {
+			return 1
+		}
+		fmt.Println("\nno confirmed regressions; allocation budgets hold")
 	}
 	return 0
+}
+
+// writeAllocProfile dumps the cumulative allocation profile (pprof
+// "allocs": every allocation since process start, sampled), the CI
+// artifact for diagnosing a blown budget.
+func writeAllocProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	runtime.GC() // flush outstanding mem profile records
+	if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // printTable renders the run's summary table.
 func printTable(rep *perfbench.Report) error {
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintf(tw, "benchmark\tmedian\t±MAD\t95%% CI\tns/op\tmetrics\n")
+	fmt.Fprintf(tw, "benchmark\tmedian\t±MAD\t95%% CI\tns/op\tallocs/op\tB/op\tmetrics\n")
 	for _, r := range rep.Benchmarks {
 		metrics := ""
 		if v, ok := r.Metrics["ops_per_s"]; ok {
@@ -145,8 +176,9 @@ func printTable(rep *perfbench.Report) error {
 		if v, ok := r.Metrics["mb_per_s"]; ok {
 			metrics += fmt.Sprintf("  %.1f MB/s", v)
 		}
-		fmt.Fprintf(tw, "%s\t%s\t%s\t[%s, %s]\t%.1f\t%s\n",
-			r.Name, fmtNs(r.MedianNs), fmtNs(r.MADNs), fmtNs(r.CILoNs), fmtNs(r.CIHiNs), r.NsPerOp, metrics)
+		fmt.Fprintf(tw, "%s\t%s\t%s\t[%s, %s]\t%.1f\t%.2f\t%.0f\t%s\n",
+			r.Name, fmtNs(r.MedianNs), fmtNs(r.MADNs), fmtNs(r.CILoNs), fmtNs(r.CIHiNs),
+			r.NsPerOp, r.AllocsPerOp, r.BytesPerOp, metrics)
 	}
 	return tw.Flush()
 }

@@ -55,6 +55,7 @@ func main() {
 		busStudy   = flag.Bool("busstudy", false, "also run the §5.1 bus-bandwidth study")
 		jobs       = flag.Int("j", 0, "max concurrent jobs (0 = GOMAXPROCS)")
 		slowScore  = flag.Bool("slowscore", false, "compute daily layout scores by full rescan (cross-check of the incremental counters)")
+		arena      = flag.String("arena", "on", "File-recycling arena for the aging replays: on or off (off is a cross-check; results are identical)")
 		faultSpec  = flag.String("faults", "", "fault plan for the aging replays, e.g. crash@day:30 or ioerr@alloc:5000 (see internal/faults)")
 		ckptEvery  = flag.Int("checkpoint-every", 0, "checkpoint the aging replays every K simulated days (needs -checkpoint-dir)")
 		ckptDir    = flag.String("checkpoint-dir", "", "directory holding aging checkpoints")
@@ -84,7 +85,7 @@ func main() {
 		defer pprof.StopCPUProfile()
 	}
 	err := run(options{seed: *seed, quick: *quick, only: *only, ablations: *ablations,
-		profiles: *profiles, busStudy: *busStudy, slowScore: *slowScore,
+		profiles: *profiles, busStudy: *busStudy, slowScore: *slowScore, arena: *arena,
 		faults: *faultSpec, ckptEvery: *ckptEvery, ckptDir: *ckptDir, resume: *resume,
 		mdPath: *mdPath, svgDir: *svgDir, metrics: *metricsOut, events: *eventsOut})
 	if *memProf != "" {
@@ -154,6 +155,7 @@ type options struct {
 	profiles  bool
 	busStudy  bool
 	slowScore bool
+	arena     string
 	faults    string
 	ckptEvery int
 	ckptDir   string
@@ -249,6 +251,13 @@ func run(o options) error {
 		scale = "quick scale"
 	}
 	cfg.SlowScore = o.slowScore
+	switch o.arena {
+	case "", "on":
+	case "off":
+		cfg.NoArena = true
+	default:
+		return fmt.Errorf("-arena=%s: want on or off", o.arena)
+	}
 	rec, err := recoveryConfig(o)
 	if err != nil {
 		return err

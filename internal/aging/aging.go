@@ -63,6 +63,12 @@ type Options struct {
 	// so they are intentionally outside the resume-determinism contract;
 	// the resume-safe summary lives in PublishResult.
 	Obs *obs.Scope
+
+	// NoArena disables the file system's File-recycling pool for this
+	// replay (the -arena=off escape hatch). Allocation decisions are
+	// identical either way; the differential tests assert byte-identical
+	// results.
+	NoArena bool
 }
 
 // Result is the outcome of a replay.
@@ -108,6 +114,9 @@ func ReplayOn(fsys *ffs.FileSystem, wl *trace.Workload, opts Options) (*Result, 
 		LayoutByDay: make(stats.Series, 0, wl.Days),
 		UtilByDay:   make(stats.Series, 0, wl.Days),
 	}
+	if opts.NoArena {
+		fsys.SetPooling(false)
+	}
 	byID := make(map[int64]*ffs.File, 1024)
 	return replayFrom(fsys, wl, opts, dirs, byID, res, 0, wl.Ops[0].Day)
 }
@@ -139,6 +148,9 @@ func ResumeReplay(policy ffs.Policy, wl *trace.Workload, cp *trace.Checkpoint, o
 	fsys, err := ffs.LoadImage(bytes.NewReader(cp.Image), policy)
 	if err != nil {
 		return nil, fmt.Errorf("aging: loading checkpoint image: %w", err)
+	}
+	if opts.NoArena {
+		fsys.SetPooling(false)
 	}
 	dirs, err := GroupDirectories(fsys)
 	if err != nil {
@@ -265,7 +277,7 @@ func replayFrom(fsys *ffs.FileSystem, wl *trace.Workload, opts Options, dirs []*
 		return false
 	}
 
-	var lastWritten *ffs.File
+	st := newStepper(fsys, dirs, byID)
 	for i := startOp; i < len(wl.Ops); i++ {
 		op := wl.Ops[i]
 		for day < op.Day {
@@ -275,8 +287,8 @@ func replayFrom(fsys *ffs.FileSystem, wl *trace.Workload, opts Options, dirs []*
 			day++
 		}
 		if c := opts.Faults.CrashBefore(i, op.Day); c != nil {
-			if c.Torn && lastWritten != nil && byID[mustID(lastWritten)] == lastWritten {
-				fsys.TearFile(lastWritten)
+			if c.Torn && st.lastWritten != nil {
+				fsys.TearFile(st.lastWritten)
 			}
 			if runTr != nil {
 				runTr.Emit(float64(day), "crash",
@@ -287,59 +299,16 @@ func replayFrom(fsys *ffs.FileSystem, wl *trace.Workload, opts Options, dirs []*
 		if op.Cg < 0 || op.Cg >= len(dirs) {
 			return res, fmt.Errorf("aging: op cg %d outside [0,%d)", op.Cg, len(dirs))
 		}
-		dir := dirs[op.Cg]
-		switch op.Kind {
-		case trace.OpCreate:
-			if byID[op.ID] != nil {
-				return res, fmt.Errorf("aging: create of live id %d", op.ID)
-			}
-			f, err := fsys.CreateFile(dir, strconv.FormatInt(op.ID, 10), op.Size, op.Day)
-			if err != nil {
-				if skippable(err) {
-					res.SkippedOps++
-					continue
-				}
-				return res, fmt.Errorf("aging: create %d: %w", op.ID, err)
-			}
-			byID[op.ID] = f
-			lastWritten = f
-		case trace.OpDelete:
-			f := byID[op.ID]
-			if f == nil {
+		applied, err := st.applyOp(op)
+		if err != nil {
+			if skippable(err) {
 				res.SkippedOps++
 				continue
 			}
-			if err := fsys.Delete(f); err != nil {
-				return res, fmt.Errorf("aging: delete %d: %w", op.ID, err)
-			}
-			delete(byID, op.ID)
-		case trace.OpRewrite:
-			// The paper's modify heuristic: remove (or truncate to
-			// zero) and rewrite. The dying file's name (the formatted
-			// ID) is reused rather than formatted again.
-			f := byID[op.ID]
-			name := ""
-			if f != nil {
-				name = f.Name
-				if err := fsys.Delete(f); err != nil {
-					return res, fmt.Errorf("aging: rewrite-delete %d: %w", op.ID, err)
-				}
-				delete(byID, op.ID)
-			} else {
-				name = strconv.FormatInt(op.ID, 10)
-			}
-			f, err := fsys.CreateFile(dir, name, op.Size, op.Day)
-			if err != nil {
-				if skippable(err) {
-					res.SkippedOps++
-					continue
-				}
-				return res, fmt.Errorf("aging: rewrite %d: %w", op.ID, err)
-			}
-			byID[op.ID] = f
-			lastWritten = f
-		default:
-			return res, fmt.Errorf("aging: op kind %v", op.Kind)
+			return res, err
+		}
+		if !applied {
+			res.SkippedOps++
 		}
 	}
 	// Record the in-progress day and pad out idle trailing days. A
@@ -351,15 +320,6 @@ func replayFrom(fsys *ffs.FileSystem, wl *trace.Workload, opts Options, dirs []*
 		}
 	}
 	return res, nil
-}
-
-// mustID parses the workload ID a replay-created file is named after.
-func mustID(f *ffs.File) int64 {
-	id, err := strconv.ParseInt(f.Name, 10, 64)
-	if err != nil {
-		return -1 << 62 // not a replay file; never matches a byID key
-	}
-	return id
 }
 
 // GroupDirectories creates (or finds) one directory per cylinder group

@@ -1,0 +1,116 @@
+package aging
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"ffsage/internal/core"
+	"ffsage/internal/faults"
+	"ffsage/internal/trace"
+)
+
+// agedImage replays wl under opts and returns the serialized aged
+// image.
+func agedImage(t *testing.T, wl *trace.Workload, opts Options) []byte {
+	t.Helper()
+	res, err := Replay(testParams(), core.Realloc{}, wl, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var img bytes.Buffer
+	if err := res.Fs.SaveImage(&img); err != nil {
+		t.Fatal(err)
+	}
+	return img.Bytes()
+}
+
+// TestArenaOffIdenticalResults: the File-recycling arena is a pure
+// memory-management change, so -arena=off must produce byte-identical
+// aged images and published metrics/event snapshots. This is the
+// differential backstop behind every arena optimization.
+func TestArenaOffIdenticalResults(t *testing.T) {
+	wl := testWorkload(17, 12)
+
+	imgOn := agedImage(t, wl, Options{})
+	imgOff := agedImage(t, wl, Options{NoArena: true})
+	if !bytes.Equal(imgOn, imgOff) {
+		t.Errorf("aged images differ between arena on (%d bytes) and off (%d bytes)",
+			len(imgOn), len(imgOff))
+	}
+
+	mOn, eOn := snapshotRun(t, wl, nil, Options{})
+	mOff, eOff := snapshotRun(t, wl, nil, Options{NoArena: true})
+	if mOn != mOff {
+		t.Errorf("metrics snapshots differ\narena on:\n%s\narena off:\n%s", mOn, mOff)
+	}
+	if eOn != eOff {
+		t.Errorf("event snapshots differ\narena on:\n%s\narena off:\n%s", eOn, eOff)
+	}
+}
+
+// TestArenaOffIdenticalAcrossCrashResume crashes a checkpointing
+// arena-on replay, resumes it with the arena disabled (and vice
+// versa), and requires the published snapshots to match an
+// uninterrupted arena-on run byte for byte: pooling state is process
+// memory, never checkpoint state, so any on/off mix across the crash
+// boundary converges to the same result.
+func TestArenaOffIdenticalAcrossCrashResume(t *testing.T) {
+	wl := testWorkload(5, 14)
+	wantMetrics, wantEvents := snapshotRun(t, wl, nil, Options{})
+
+	for _, tc := range []struct {
+		name             string
+		crashed, resumed Options
+	}{
+		{"crash-on-resume-off", Options{}, Options{NoArena: true}},
+		{"crash-off-resume-on", Options{NoArena: true}, Options{}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			opts := tc.crashed
+			opts.Faults = faults.MustParse("crash@day:9")
+			opts.CheckpointEvery = 3
+			var cps []*trace.Checkpoint
+			opts.Checkpoint = collectCheckpoints(t, &cps)
+			_, err := Replay(testParams(), core.Realloc{}, wl, opts)
+			var crash *faults.Crash
+			if !errors.As(err, &crash) {
+				t.Fatalf("expected planned crash, got %v", err)
+			}
+			if len(cps) == 0 {
+				t.Fatal("no checkpoints before the crash")
+			}
+			gotMetrics, gotEvents := snapshotRun(t, wl, cps[len(cps)-1], tc.resumed)
+			if gotMetrics != wantMetrics {
+				t.Errorf("resumed metrics differ from uninterrupted arena-on run\ngot:\n%s\nwant:\n%s",
+					gotMetrics, wantMetrics)
+			}
+			if gotEvents != wantEvents {
+				t.Errorf("resumed events differ from uninterrupted arena-on run\ngot:\n%s\nwant:\n%s",
+					gotEvents, wantEvents)
+			}
+		})
+	}
+}
+
+// TestArenaRecyclesFiles sanity-checks the pool itself: a replay that
+// deletes files reuses their File records instead of allocating fresh
+// ones, and -arena=off really disables that.
+func TestArenaRecyclesFiles(t *testing.T) {
+	wl := testWorkload(23, 10)
+	res, err := Replay(testParams(), core.Realloc{}, wl, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := res.Fs.PoolStats()
+	if ps.Recycles == 0 || ps.Reuses == 0 {
+		t.Errorf("arena never cycled: %+v", ps)
+	}
+	res, err = Replay(testParams(), core.Realloc{}, wl, Options{NoArena: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps := res.Fs.PoolStats(); ps.Recycles != 0 || ps.Reuses != 0 || ps.Pooled != 0 {
+		t.Errorf("arena disabled but still cycled: %+v", ps)
+	}
+}

@@ -1,0 +1,180 @@
+package aging
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+
+	"ffsage/internal/ffs"
+	"ffsage/internal/trace"
+)
+
+// stepper is the replay cursor: the mutable state one operation stream
+// threads through replayFrom. Pulling it out of the loop lets the
+// steady-state benchmark drive the exact production op path (via the
+// exported Stepper) and keeps the per-op work allocation-free: file
+// names for recurring workload IDs are formatted once and cached, and
+// File objects come from the file system's recycling pool.
+type stepper struct {
+	fsys *ffs.FileSystem
+	dirs []*ffs.File
+	byID map[int64]*ffs.File
+	// names caches the decimal form of snapshot-derived (non-negative)
+	// workload IDs, which recur across delete/recreate and rewrite
+	// cycles. Short-lived files carry unique negative IDs that are never
+	// reused, so caching them would only grow the map.
+	names map[int64]string
+	// lastWritten is the most recently created file, the candidate for
+	// a torn write at a crash. It is cleared before that file is
+	// deleted: once recycled, the pointer may be handed to an unrelated
+	// create, and a stale reference would tear the wrong file.
+	lastWritten *ffs.File
+}
+
+func newStepper(fsys *ffs.FileSystem, dirs []*ffs.File, byID map[int64]*ffs.File) *stepper {
+	return &stepper{fsys: fsys, dirs: dirs, byID: byID, names: make(map[int64]string)}
+}
+
+func (st *stepper) name(id int64) string {
+	if id < 0 {
+		return strconv.FormatInt(id, 10)
+	}
+	s, ok := st.names[id]
+	if !ok {
+		s = strconv.FormatInt(id, 10)
+		st.names[id] = s
+	}
+	return s
+}
+
+// forget drops the tear-tracking reference if it points at f, which is
+// about to be deleted (and possibly recycled).
+func (st *stepper) forget(f *ffs.File) {
+	if st.lastWritten == f {
+		st.lastWritten = nil
+	}
+}
+
+// applyOp applies one workload operation. It returns applied=false for
+// the benign no-op case (delete or rewrite-delete of a file lost to an
+// earlier skip records a skip without error). Allocation failures come
+// back wrapped in the same messages Replay has always reported; the
+// caller classifies them with errors.Is.
+func (st *stepper) applyOp(op trace.Op) (applied bool, err error) {
+	dir := st.dirs[op.Cg]
+	switch op.Kind {
+	case trace.OpCreate:
+		if st.byID[op.ID] != nil {
+			return false, fmt.Errorf("aging: create of live id %d", op.ID)
+		}
+		f, err := st.fsys.CreateFile(dir, st.name(op.ID), op.Size, op.Day)
+		if err != nil {
+			return false, fmt.Errorf("aging: create %d: %w", op.ID, err)
+		}
+		st.byID[op.ID] = f
+		st.lastWritten = f
+		return true, nil
+	case trace.OpDelete:
+		f := st.byID[op.ID]
+		if f == nil {
+			return false, nil
+		}
+		st.forget(f)
+		if err := st.fsys.Delete(f); err != nil {
+			return false, fmt.Errorf("aging: delete %d: %w", op.ID, err)
+		}
+		delete(st.byID, op.ID)
+		return true, nil
+	case trace.OpRewrite:
+		// The paper's modify heuristic: remove (or truncate to zero) and
+		// rewrite. The dying file's name (the formatted ID) is reused
+		// rather than formatted again.
+		f := st.byID[op.ID]
+		name := ""
+		if f != nil {
+			name = f.Name
+			st.forget(f)
+			if err := st.fsys.Delete(f); err != nil {
+				return false, fmt.Errorf("aging: rewrite-delete %d: %w", op.ID, err)
+			}
+			delete(st.byID, op.ID)
+		} else {
+			name = st.name(op.ID)
+		}
+		f, err := st.fsys.CreateFile(dir, name, op.Size, op.Day)
+		if err != nil {
+			return false, fmt.Errorf("aging: rewrite %d: %w", op.ID, err)
+		}
+		st.byID[op.ID] = f
+		st.lastWritten = f
+		return true, nil
+	default:
+		return false, fmt.Errorf("aging: op kind %v", op.Kind)
+	}
+}
+
+// Stepper drives workload operations against a file system one at a
+// time through the same code path replayFrom uses, without the
+// day-cursor, checkpoint, or fault machinery. Benchmarks and tests use
+// it to measure and pin down the steady-state per-operation cost.
+type Stepper struct {
+	st      *stepper
+	Skipped int // ops absorbed without effect (lost deletes, ENOSPC)
+	NoSpace int // the subset of Skipped that failed for space/inodes
+}
+
+// NewStepper prepares fsys for direct op application: the per-group
+// directories are created (or found) and the live-file index is rebuilt
+// from file names, as ResumeReplay does.
+func NewStepper(fsys *ffs.FileSystem) (*Stepper, error) {
+	dirs, err := GroupDirectories(fsys)
+	if err != nil {
+		return nil, err
+	}
+	byID := make(map[int64]*ffs.File, len(fsys.Files()))
+	for _, f := range fsys.Files() {
+		if f.IsDir {
+			continue
+		}
+		id, err := strconv.ParseInt(f.Name, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("aging: file %q is not a workload file", f.Name)
+		}
+		if byID[id] != nil {
+			return nil, fmt.Errorf("aging: two files for id %d", id)
+		}
+		byID[id] = f
+	}
+	return &Stepper{st: newStepper(fsys, dirs, byID)}, nil
+}
+
+// Apply applies one operation, absorbing the failures a replay absorbs
+// (allocation exhaustion, deletes of missing files) into the Skipped
+// and NoSpace counters. Any other failure is returned.
+func (s *Stepper) Apply(op trace.Op) error {
+	if op.Cg < 0 || op.Cg >= len(s.st.dirs) {
+		return fmt.Errorf("aging: op cg %d outside [0,%d)", op.Cg, len(s.st.dirs))
+	}
+	applied, err := s.st.applyOp(op)
+	if err != nil {
+		if errors.Is(err, ffs.ErrNoSpace) || errors.Is(err, ffs.ErrNoInodes) {
+			s.NoSpace++
+			s.Skipped++
+			return nil
+		}
+		return err
+	}
+	if !applied {
+		s.Skipped++
+	}
+	return nil
+}
+
+// Fs returns the file system the stepper drives.
+func (s *Stepper) Fs() *ffs.FileSystem { return s.st.fsys }
+
+// Live returns the file currently registered for a workload ID, if any.
+func (s *Stepper) Live(id int64) (*ffs.File, bool) {
+	f := s.st.byID[id]
+	return f, f != nil
+}

@@ -28,6 +28,16 @@ func TestCheckedCorruptionFixtures(t *testing.T) {
 	runFixture(t, a, "checkedcorruption/a")
 }
 
+func TestDirmapFixtures(t *testing.T) {
+	// dirmap/ffs mirrors ffsage/internal/ffs (covered, every forbidden
+	// shape flagged); dirmap/other holds the same shapes outside the
+	// configured packages and must stay silent.
+	a := Dirmap(DirmapConfig{Packages: []string{"dirmap/ffs"}})
+	for _, path := range []string{"dirmap/ffs", "dirmap/other"} {
+		t.Run(path, func(t *testing.T) { runFixture(t, a, path) })
+	}
+}
+
 func TestNopanicFixtures(t *testing.T) {
 	a := Nopanic(NopanicConfig{AllowFiles: []string{"nopanic/a/corrupt.go"}})
 	for _, path := range []string{"nopanic/a", "nopanic/mainpkg"} {

@@ -1,0 +1,83 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// DirmapConfig names the packages in which map[string]*File directory
+// tables are forbidden (import paths, normalized per PkgPathOf).
+type DirmapConfig struct {
+	Packages []string
+}
+
+// DefaultDirmapConfig guards internal/ffs, where directory tables are
+// kept as sorted entry slices: a map[string]*File there would reopen
+// both regressions the slice representation closed — per-insert heap
+// allocation in the zero-alloc replay loop, and randomized iteration
+// order leaking into anything that walks a directory.
+func DefaultDirmapConfig() DirmapConfig {
+	return DirmapConfig{Packages: []string{"ffsage/internal/ffs"}}
+}
+
+// Dirmap builds the directory-table-representation analyzer: inside
+// cfg.Packages, any map type with a string key and a *File element —
+// declared, composite-literal'd, made, or ranged over — is flagged.
+// Test files are exempt; they may build ad-hoc maps to assert against.
+func Dirmap(cfg DirmapConfig) *Analyzer {
+	guarded := map[string]bool{}
+	for _, p := range cfg.Packages {
+		guarded[p] = true
+	}
+	return &Analyzer{
+		Name: "dirmap",
+		Doc:  "forbid map[string]*File directory tables in packages using sorted entry slices",
+		Run: func(pass *Pass) {
+			if !guarded[PkgPathOf(pass.Pkg.Path())] {
+				return
+			}
+			for _, f := range pass.Files {
+				if pass.InTestFile(f.Package) {
+					continue
+				}
+				ast.Inspect(f, func(n ast.Node) bool {
+					switch n := n.(type) {
+					case *ast.MapType:
+						if tv, ok := pass.TypesInfo.Types[n]; ok && isDirMap(tv.Type) {
+							pass.Reportf(n.Pos(), "map[string]*File directory table: allocates on every insert and iterates in random order; use a sorted entries slice with binary search instead")
+						}
+					case *ast.RangeStmt:
+						// Catches values of the forbidden shape that were
+						// built elsewhere (another package, an any) — the
+						// type expression itself is not in this package.
+						if tv, ok := pass.TypesInfo.Types[n.X]; ok && isDirMap(tv.Type) {
+							if _, declaredHere := n.X.(*ast.MapType); !declaredHere {
+								pass.Reportf(n.Pos(), "range over a map[string]*File directory table: iteration order is randomized; use a sorted entries slice instead")
+							}
+						}
+					}
+					return true
+				})
+			}
+		},
+	}
+}
+
+// isDirMap reports whether t is (or has underlying) map[string]*File
+// for any named type called File.
+func isDirMap(t types.Type) bool {
+	m, ok := t.Underlying().(*types.Map)
+	if !ok {
+		return false
+	}
+	key, ok := m.Key().Underlying().(*types.Basic)
+	if !ok || key.Kind() != types.String {
+		return false
+	}
+	ptr, ok := m.Elem().Underlying().(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	return ok && named.Obj().Name() == "File"
+}

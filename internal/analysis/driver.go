@@ -8,19 +8,20 @@ import (
 )
 
 // Suite instantiates the full analyzer suite from the given configs.
-func Suite(dr DetrandConfig, cc CheckedCorruptionConfig, np NopanicConfig) []*Analyzer {
+func Suite(dr DetrandConfig, cc CheckedCorruptionConfig, np NopanicConfig, dm DirmapConfig) []*Analyzer {
 	return []*Analyzer{
 		Detrand(dr),
 		Maporder(),
 		CheckedCorruption(cc),
 		Nopanic(np),
+		Dirmap(dm),
 	}
 }
 
 // DefaultSuite is the suite with the repository's sanctioned
 // configuration — what CI enforces.
 func DefaultSuite() []*Analyzer {
-	return Suite(DefaultDetrandConfig(), DefaultCheckedCorruptionConfig(), DefaultNopanicConfig())
+	return Suite(DefaultDetrandConfig(), DefaultCheckedCorruptionConfig(), DefaultNopanicConfig(), DefaultDirmapConfig())
 }
 
 // Main implements cmd/ffsvet. Two modes share the analyzers:
@@ -50,6 +51,7 @@ func Main(args []string) int {
 	dr := DefaultDetrandConfig()
 	cc := DefaultCheckedCorruptionConfig()
 	np := DefaultNopanicConfig()
+	dm := DefaultDirmapConfig()
 	csv := func(p *[]string, name, usage string) {
 		def := strings.Join(*p, ",")
 		fs.Func(name, usage+" (comma-separated; default "+def+")", func(v string) error {
@@ -61,6 +63,7 @@ func Main(args []string) int {
 	csv(&dr.TimeOK, "detrand.timeok", "subset of detrand.pkgs that may read the wall clock")
 	csv(&cc.Packages, "checkedcorruption.pkgs", "packages whose returned errors must be handled")
 	csv(&np.AllowFiles, "nopanic.allow", "file suffixes sanctioned to panic")
+	csv(&dm.Packages, "dirmap.pkgs", "packages where map[string]*File directory tables are forbidden")
 	fs.Usage = func() {
 		fmt.Fprintf(fs.Output(), "usage: ffsvet [flags] [package patterns]\n")
 		fmt.Fprintf(fs.Output(), "       go vet -vettool=$(which ffsvet) ./...\n\nAnalyzers:\n")
@@ -74,7 +77,7 @@ func Main(args []string) int {
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
-	analyzers := Suite(dr, cc, np)
+	analyzers := Suite(dr, cc, np, dm)
 
 	rest := fs.Args()
 	if len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {

@@ -1,0 +1,53 @@
+// Package ffs is a dirmap fixture standing in for ffsage/internal/ffs:
+// directory tables here are sorted entry slices, so any
+// map[string]*File — declared, made, literal'd, or ranged over — is a
+// finding. Maps with other keys or elements are not.
+package ffs
+
+import "sort"
+
+// File mirrors the real package's central type.
+type File struct {
+	Name string
+	Size int64
+}
+
+type badDir struct {
+	files map[string]*File // want `map\[string\]\*File directory table: allocates on every insert and iterates in random order; use a sorted entries slice with binary search instead`
+}
+
+func makeBad() map[string]*File { // want `map\[string\]\*File directory table`
+	return make(map[string]*File) // want `map\[string\]\*File directory table`
+}
+
+// aliased shapes are caught through the underlying type.
+type table = map[string]*File // want `map\[string\]\*File directory table`
+
+func walk(m map[string]*File) []string { // want `map\[string\]\*File directory table`
+	var names []string
+	for name := range m { // want `range over a map\[string\]\*File directory table: iteration order is randomized; use a sorted entries slice instead`
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// The sanctioned representation and unrelated maps pass untouched.
+type goodDir struct {
+	entries []dirEnt
+	byIno   map[int64]*File // int64 key: the live-file index, not a directory table
+	sizes   map[string]int64
+}
+
+type dirEnt struct {
+	name string
+	file *File
+}
+
+func (d *goodDir) lookup(name string) *File {
+	i := sort.Search(len(d.entries), func(i int) bool { return d.entries[i].name >= name })
+	if i < len(d.entries) && d.entries[i].name == name {
+		return d.entries[i].file
+	}
+	return nil
+}

@@ -1,0 +1,17 @@
+// Package other is a dirmap fixture for scoping: the same forbidden
+// shape outside the configured packages raises nothing.
+package other
+
+type File struct{ Name string }
+
+type dir struct {
+	files map[string]*File
+}
+
+func collect(m map[string]*File) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}

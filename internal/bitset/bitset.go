@@ -57,25 +57,46 @@ func (s *Set) Test(i int) bool {
 	return s.words[i/wordBits]&(1<<uint(i%wordBits)) != 0
 }
 
-// SetRange sets bits [lo, hi).
+// rangeMask returns a word mask covering bits [off, off+n) of a single
+// word. Callers guarantee 0 ≤ off, 0 < n, off+n ≤ 64.
+func rangeMask(off, n int) uint64 {
+	if n >= wordBits {
+		return ^uint64(0)
+	}
+	return (uint64(1)<<uint(n) - 1) << uint(off)
+}
+
+// SetRange sets bits [lo, hi), word-wise.
 func (s *Set) SetRange(lo, hi int) {
 	if lo < 0 || hi > s.n || lo > hi {
 		//lint:ignore ffsvet/nopanic precondition panic: rejects a caller bug (API misuse), never reachable from replayed disk state
 		panic(fmt.Sprintf("bitset: bad range [%d,%d) of %d", lo, hi, s.n))
 	}
-	for i := lo; i < hi; i++ {
-		s.words[i/wordBits] |= 1 << uint(i%wordBits)
+	for lo < hi {
+		w := lo / wordBits
+		end := (w + 1) * wordBits
+		if end > hi {
+			end = hi
+		}
+		s.words[w] |= rangeMask(lo%wordBits, end-lo)
+		lo = end
 	}
 }
 
-// ClearRange clears bits [lo, hi).
+// ClearRange clears bits [lo, hi), word-wise.
 func (s *Set) ClearRange(lo, hi int) {
 	if lo < 0 || hi > s.n || lo > hi {
 		//lint:ignore ffsvet/nopanic precondition panic: rejects a caller bug (API misuse), never reachable from replayed disk state
 		panic(fmt.Sprintf("bitset: bad range [%d,%d) of %d", lo, hi, s.n))
 	}
-	for i := lo; i < hi; i++ {
-		s.words[i/wordBits] &^= 1 << uint(i%wordBits)
+	for lo < hi {
+		w := lo / wordBits
+		end := (w + 1) * wordBits
+		if end > hi {
+			end = hi
+		}
+		s.words[w] &^= rangeMask(lo%wordBits, end-lo)
+		lo = end
 	}
 }
 
@@ -86,12 +107,38 @@ func (s *Set) TestRange(lo, hi int) bool {
 		//lint:ignore ffsvet/nopanic precondition panic: rejects a caller bug (API misuse), never reachable from replayed disk state
 		panic(fmt.Sprintf("bitset: bad range [%d,%d) of %d", lo, hi, s.n))
 	}
-	for i := lo; i < hi; i++ {
-		if !s.Test(i) {
+	for lo < hi {
+		w := lo / wordBits
+		end := (w + 1) * wordBits
+		if end > hi {
+			end = hi
+		}
+		m := rangeMask(lo%wordBits, end-lo)
+		if s.words[w]&m != m {
 			return false
 		}
+		lo = end
 	}
 	return true
+}
+
+// Mask8 returns bits [start, start+width) packed into the low bits of a
+// byte: bit i of the result reports bit start+i of the set. width must
+// be at most 8. FFS free maps align fragment groups on power-of-two
+// boundaries, so in practice the extraction never crosses a word, but
+// the straddling case is handled for generality.
+func (s *Set) Mask8(start, width int) uint8 {
+	if start < 0 || width < 0 || width > 8 || start+width > s.n {
+		//lint:ignore ffsvet/nopanic precondition panic: rejects a caller bug (API misuse), never reachable from replayed disk state
+		panic(fmt.Sprintf("bitset: bad mask [%d,%d) of %d", start, start+width, s.n))
+	}
+	w := start / wordBits
+	off := uint(start % wordBits)
+	v := s.words[w] >> off
+	if int(off)+width > wordBits {
+		v |= s.words[w+1] << (wordBits - off)
+	}
+	return uint8(v) & uint8(uint(1)<<uint(width)-1)
 }
 
 // Count returns the number of set bits.
@@ -103,17 +150,21 @@ func (s *Set) Count() int {
 	return c
 }
 
-// CountRange returns the number of set bits in [lo, hi).
+// CountRange returns the number of set bits in [lo, hi), word-wise.
 func (s *Set) CountRange(lo, hi int) int {
 	if lo < 0 || hi > s.n || lo > hi {
 		//lint:ignore ffsvet/nopanic precondition panic: rejects a caller bug (API misuse), never reachable from replayed disk state
 		panic(fmt.Sprintf("bitset: bad range [%d,%d) of %d", lo, hi, s.n))
 	}
 	c := 0
-	for i := lo; i < hi; i++ {
-		if s.Test(i) {
-			c++
+	for lo < hi {
+		w := lo / wordBits
+		end := (w + 1) * wordBits
+		if end > hi {
+			end = hi
 		}
+		c += bits.OnesCount64(s.words[w] & rangeMask(lo%wordBits, end-lo))
+		lo = end
 	}
 	return c
 }

@@ -44,6 +44,11 @@ type Config struct {
 	// incremental counters — the cross-check path behind cmd/repro's
 	// -slowscore flag. The two are equal by construction.
 	SlowScore bool
+	// NoArena disables the file systems' File-recycling pools for the
+	// aging replays (cmd/repro's -arena=off escape hatch). Allocation
+	// decisions — and so every report, figure, and metric — are
+	// identical either way.
+	NoArena bool
 	// Recovery wires fault injection and checkpoint/resume into the
 	// three aging arms (cmd/repro's -faults / -checkpoint flags). A
 	// non-nil Recovery bypasses the process-wide aged-image cache:
@@ -77,7 +82,7 @@ type Recovery struct {
 
 // agingOpts returns the replay options this configuration implies.
 func (c Config) agingOpts() aging.Options {
-	return aging.Options{SlowScore: c.SlowScore}
+	return aging.Options{SlowScore: c.SlowScore, NoArena: c.NoArena}
 }
 
 // Full returns the paper-scale configuration.

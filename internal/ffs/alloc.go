@@ -3,8 +3,8 @@ package ffs
 import "fmt"
 
 // ptrsPerIndirect returns the number of block pointers an indirect
-// block holds (4-byte pointers, as in 4.4BSD).
-func (fs *FileSystem) ptrsPerIndirect() int { return fs.P.BlockSize / 4 }
+// block holds (4-byte pointers, as in 4.4BSD), cached at newfs time.
+func (fs *FileSystem) ptrsPerIndirect() int { return fs.ppi }
 
 // isSectionStart reports whether logical block lbn begins a new
 // allocation section: the first block mapped by each indirect block
@@ -177,9 +177,14 @@ func (fs *FileSystem) allocFragsMech(cgIdx int, pref Daddr, n int) (Daddr, error
 
 // freeRange releases nfrags fragments starting at d. The range must lie
 // within one cylinder group (callers free one block or one tail at a
-// time, which always satisfies this).
+// time, which always satisfies this). cgIndexOf's arithmetic guess
+// avoids CgOf's linear scan on this per-free path; relFrag still
+// validates that d lies inside the chosen group.
 func (fs *FileSystem) freeRange(d Daddr, nfrags int) {
-	c := fs.CgOf(d)
+	if d < 0 || d >= Daddr(fs.P.TotalFrags()) {
+		throwCorrupt("freeRange", -1, "daddr %d outside file system", d)
+	}
+	c := fs.cgs[fs.cgIndexOf(d)]
 	c.freeFrags(c.relFrag(d), nfrags)
 }
 

@@ -68,6 +68,8 @@ func newCylGroup(fs *FileSystem, index int, startFrag Daddr, nfrags, metaFrags i
 	c.free.SetRange(0, nfrags)
 	c.blkfree.SetRange(0, c.nblk)
 	c.nbfree = c.nblk
+	fs.freeFrags += int64(nfrags)
+	fs.freeBlks += int64(c.nblk)
 	c.clusterAdd(c.nblk)
 	// ...except the metadata area.
 	if metaFrags > 0 {
@@ -177,33 +179,61 @@ type blockPattern struct {
 	maxFree int
 }
 
-func (c *CylGroup) pattern(b int) blockPattern {
-	fpb := c.fs.fpb
-	base := b * fpb
-	var p blockPattern
-	run := 0
-	for i := 0; i < fpb; i++ {
-		if c.free.Test(base + i) {
-			p.nf++
-			run++
-			if run > p.maxFree {
-				p.maxFree = run
+// freeTotal returns the block's total free fragment count, whether the
+// block is whole or partial.
+func (p *blockPattern) freeTotal(fpb int) int {
+	if p.full {
+		return fpb
+	}
+	return p.nf
+}
+
+// buildPatternTable precomputes the blockPattern of every possible
+// fragment free-mask for one block. Params.Validate restricts fpb to
+// {1, 2, 4, 8}, so a block's free bits always fit in one byte and the
+// table has at most 256 entries; pattern lookups become a single table
+// index instead of a per-bit bitmap scan (the busiest loop in replay
+// profiles before this table existed).
+func buildPatternTable(fpb int) []blockPattern {
+	t := make([]blockPattern, 1<<uint(fpb))
+	for m := range t {
+		p := &t[m]
+		run := 0
+		for i := 0; i < fpb; i++ {
+			if m&(1<<uint(i)) != 0 {
+				p.nf++
+				run++
+				if run > p.maxFree {
+					p.maxFree = run
+				}
+			} else if run > 0 {
+				p.runs[run]++
+				run = 0
 			}
-		} else if run > 0 {
+		}
+		if run == fpb {
+			p.full = true
+			p.nf = 0
+			p.maxFree = fpb
+			continue
+		}
+		if run > 0 {
 			p.runs[run]++
-			run = 0
 		}
 	}
-	if run == fpb {
-		p.full = true
-		p.nf = 0
-		p.maxFree = fpb
-		return p
-	}
-	if run > 0 {
-		p.runs[run]++
-	}
-	return p
+	return t
+}
+
+// freeMask returns block b's fragment free bits packed into a byte
+// (bit i = fragment b*fpb+i free).
+func (c *CylGroup) freeMask(b int) uint8 {
+	return c.free.Mask8(b*c.fs.fpb, c.fs.fpb)
+}
+
+// pattern returns block b's summary. The result points into the file
+// system's shared read-only pattern table and must not be mutated.
+func (c *CylGroup) pattern(b int) *blockPattern {
+	return &c.fs.patterns[c.freeMask(b)]
 }
 
 // mutateFrags flips the allocation state of group-relative fragments
@@ -215,49 +245,72 @@ func (c *CylGroup) mutateFrags(lo, hi int, alloc bool) {
 		throwCorrupt("mutateFrags", c.Index, "range [%d,%d) of %d", lo, hi, c.nfrags)
 	}
 	fpb := c.fs.fpb
+	patterns := c.fs.patterns
 	for b := lo / fpb; b <= (hi-1)/fpb; b++ {
-		before := c.pattern(b)
-		blo, bhi := b*fpb, (b+1)*fpb
+		base := b * fpb
+		blo, bhi := base, base+fpb
 		if blo < lo {
 			blo = lo
 		}
 		if bhi > hi {
 			bhi = hi
 		}
-		for i := blo; i < bhi; i++ {
-			if c.free.Test(i) != alloc {
-				// Requesting alloc of a non-free frag, or free of a
-				// non-allocated frag.
-				state := "free"
-				if alloc {
-					state = "allocated"
-				}
-				throwCorrupt("mutateFrags", c.Index, "frag %d already %s", i, state)
+		beforeMask := c.free.Mask8(base, fpb)
+		seg := uint8(uint(1)<<uint(bhi-base)-1) &^ uint8(uint(1)<<uint(blo-base)-1)
+		var afterMask uint8
+		if alloc {
+			// Allocating requires every targeted fragment free.
+			if beforeMask&seg != seg {
+				c.badMutate(blo, bhi, alloc)
 			}
-			if alloc {
-				c.free.Clear(i)
-			} else {
-				c.free.Set(i)
+			c.free.ClearRange(blo, bhi)
+			afterMask = beforeMask &^ seg
+		} else {
+			// Freeing requires every targeted fragment allocated.
+			if beforeMask&seg != 0 {
+				c.badMutate(blo, bhi, alloc)
 			}
+			c.free.SetRange(blo, bhi)
+			afterMask = beforeMask | seg
 		}
-		after := c.pattern(b)
-		c.applyPatternDelta(b, before, after)
+		c.applyPatternDelta(b, &patterns[beforeMask], &patterns[afterMask])
 	}
 }
 
-func (c *CylGroup) applyPatternDelta(b int, before, after blockPattern) {
+// badMutate reports the first fragment of [lo, hi) already in the
+// requested state, preserving the per-fragment diagnostic of the old
+// bit-at-a-time loop.
+func (c *CylGroup) badMutate(lo, hi int, alloc bool) {
+	state := "free"
+	if alloc {
+		state = "allocated"
+	}
+	bad := lo
+	for i := lo; i < hi; i++ {
+		if c.free.Test(i) != alloc {
+			bad = i
+			break
+		}
+	}
+	throwCorrupt("mutateFrags", c.Index, "frag %d already %s", bad, state)
+}
+
+func (c *CylGroup) applyPatternDelta(b int, before, after *blockPattern) {
 	if before.full != after.full {
 		if after.full {
 			c.nbfree++
+			c.fs.freeBlks++
 			c.blkfree.Set(b)
 			c.clusterAcct(b, true)
 		} else {
 			c.nbfree--
+			c.fs.freeBlks--
 			c.blkfree.Clear(b)
 			c.clusterAcct(b, false)
 		}
 	}
 	c.nffree += after.nf - before.nf
+	c.fs.freeFrags += int64(after.freeTotal(c.fs.fpb) - before.freeTotal(c.fs.fpb))
 	for k := 1; k < c.fs.fpb; k++ {
 		c.frsum[k] += after.runs[k] - before.runs[k]
 		if c.frsum[k] < 0 {
@@ -389,9 +442,10 @@ func (c *CylGroup) allocBlockNearFree(prefFrag int) int {
 func (c *CylGroup) findRunInBlock(b, length int) int {
 	fpb := c.fs.fpb
 	base := b * fpb
+	mask := c.freeMask(b)
 	run, runStart := 0, -1
 	for i := 0; i <= fpb; i++ {
-		if i < fpb && c.free.Test(base+i) {
+		if i < fpb && mask&(1<<uint(i)) != 0 {
 			if run == 0 {
 				runStart = base + i
 			}

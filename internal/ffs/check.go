@@ -117,6 +117,17 @@ func (fs *FileSystem) checkGroups() error {
 			}
 		}
 	}
+	// The per-group counters are sound; the cached file-system-wide
+	// totals must agree with their sum.
+	var sumFrags, sumBlks int64
+	for _, c := range fs.cgs {
+		sumFrags += int64(c.FreeFrags())
+		sumBlks += int64(c.nbfree)
+	}
+	if sumFrags != fs.freeFrags || sumBlks != fs.freeBlks {
+		return fmt.Errorf("cached free counts frags=%d blks=%d, groups sum to %d/%d",
+			fs.freeFrags, fs.freeBlks, sumFrags, sumBlks)
+	}
 	return nil
 }
 
@@ -246,7 +257,7 @@ func (fs *FileSystem) checkInodesAndDirs() error {
 			}
 			continue
 		}
-		if got, ok := f.Parent.Entries[f.Name]; !ok || got != f {
+		if got, ok := f.Parent.lookupEntry(f.Name); !ok || got != f {
 			return fmt.Errorf("ino %d (%s): parent entry missing or wrong", ino, f.Path())
 		}
 	}
@@ -257,9 +268,12 @@ func (fs *FileSystem) checkInodesAndDirs() error {
 			ndir[fs.InoToCg(ino)]++
 		}
 		nAlloc[fs.InoToCg(ino)]++
-		for name, child := range f.Entries {
-			if child.Parent != f || child.Name != name {
-				return fmt.Errorf("dir %s: entry %q badly linked", f.Path(), name)
+		for i, e := range f.entries {
+			if e.file.Parent != f || e.file.Name != e.name {
+				return fmt.Errorf("dir %s: entry %q badly linked", f.Path(), e.name)
+			}
+			if i > 0 && f.entries[i-1].name >= e.name {
+				return fmt.Errorf("dir %s: entry table out of order at %q", f.Path(), e.name)
 			}
 		}
 	}

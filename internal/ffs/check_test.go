@@ -144,15 +144,15 @@ func TestCheckDetectsNdirDrift(t *testing.T) {
 
 func TestCheckDetectsBrokenDirLinkage(t *testing.T) {
 	fs, f := corruptibleFs(t)
-	delete(f.Parent.Entries, f.Name)
+	f.Parent.deleteEntry(f.Name)
 	wantCheckError(t, fs, "parent entry")
 }
 
 func TestCheckDetectsRenamedEntry(t *testing.T) {
 	fs, f := corruptibleFs(t)
 	parent := f.Parent
-	delete(parent.Entries, f.Name)
-	parent.Entries["sneaky"] = f
+	parent.deleteEntry(f.Name)
+	parent.putEntry("sneaky", f)
 	// Caught either as a missing canonical entry or as a badly linked
 	// alias, depending on which the checker reaches first.
 	wantCheckError(t, fs, "entry")

@@ -1,9 +1,12 @@
 package ffs
 
 // Clone returns a deep copy of the file system, sharing nothing with
-// the original. The benchmark harness clones each aged image so every
-// benchmark run starts from identical state, the way the paper reran
-// its benchmarks on freshly restored aged file systems.
+// the original except the read-only pattern table. The benchmark
+// harness clones each aged image so every benchmark run starts from
+// identical state, the way the paper reran its benchmarks on freshly
+// restored aged file systems. Every File in the copy is freshly
+// allocated — nothing aliases the source's recycling pool, so the
+// clone is safe to use from another goroutine.
 func (fs *FileSystem) Clone() *FileSystem {
 	c := &FileSystem{
 		P:           fs.P,
@@ -14,6 +17,11 @@ func (fs *FileSystem) Clone() *FileSystem {
 		Stats:       fs.Stats,
 		layoutOpt:   fs.layoutOpt,
 		layoutTotal: fs.layoutTotal,
+		patterns:    fs.patterns, // immutable after construction
+		freeFrags:   fs.freeFrags,
+		freeBlks:    fs.freeBlks,
+		ppi:         fs.ppi,
+		pooling:     fs.pooling,
 	}
 	c.IgnoreReserve = fs.IgnoreReserve
 	for _, g := range fs.cgs {
@@ -52,8 +60,8 @@ func (fs *FileSystem) Clone() *FileSystem {
 			scoreOpt:   f.scoreOpt,
 			scoreTotal: f.scoreTotal,
 		}
-		if f.IsDir {
-			nf.Entries = make(map[string]*File, len(f.Entries))
+		if f.IsDir && len(f.entries) > 0 {
+			nf.entries = make([]dirEnt, len(f.entries))
 		}
 		c.files[ino] = nf
 	}
@@ -62,8 +70,9 @@ func (fs *FileSystem) Clone() *FileSystem {
 		if f.Parent != nil {
 			nf.Parent = c.files[f.Parent.Ino]
 		}
-		for name, child := range f.Entries {
-			nf.Entries[name] = c.files[child.Ino]
+		// The source table is sorted; copying positionally keeps it so.
+		for i, e := range f.entries {
+			nf.entries[i] = dirEnt{name: e.name, file: c.files[e.file.Ino]}
 		}
 	}
 	c.root = c.files[fs.root.Ino]

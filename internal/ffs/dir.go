@@ -47,7 +47,7 @@ func entryBytes(name string) int64 {
 func (fs *FileSystem) makeDirectory(parent *File, name string, day int) (*File, error) {
 	cg := 0 // root goes to group 0
 	if parent != nil {
-		if _, exists := parent.Entries[name]; exists {
+		if _, exists := parent.lookupEntry(name); exists {
 			return nil, ErrExists
 		}
 		cg = fs.dirpref()
@@ -56,15 +56,13 @@ func (fs *FileSystem) makeDirectory(parent *File, name string, day int) (*File, 
 	if err != nil {
 		return nil, err
 	}
-	d := &File{
-		Ino:       ino,
-		Name:      name,
-		IsDir:     true,
-		Entries:   make(map[string]*File),
-		CreateDay: day,
-		ModDay:    day,
-		sectionCg: fs.InoToCg(ino),
-	}
+	d := fs.newFile()
+	d.Ino = ino
+	d.Name = name
+	d.IsDir = true
+	d.CreateDay = day
+	d.ModDay = day
+	d.sectionCg = fs.InoToCg(ino)
 	fs.files[ino] = d
 	fs.cgs[fs.InoToCg(ino)].ndir++
 	if parent != nil {
@@ -107,7 +105,7 @@ func (fs *FileSystem) Rename(f *File, newDir *File, newName string, day int) (er
 	if f.Parent == nil {
 		return fmt.Errorf("ffs: cannot rename the root")
 	}
-	if _, exists := newDir.Entries[newName]; exists {
+	if _, exists := newDir.lookupEntry(newName); exists {
 		return ErrExists
 	}
 	if f.IsDir {
@@ -118,11 +116,11 @@ func (fs *FileSystem) Rename(f *File, newDir *File, newName string, day int) (er
 		}
 	}
 	oldParent, oldName := f.Parent, f.Name
-	delete(oldParent.Entries, oldName)
+	oldParent.deleteEntry(oldName)
 	f.Name = newName
 	if err := fs.addEntry(newDir, f, day); err != nil {
 		f.Name = oldName
-		oldParent.Entries[oldName] = f
+		oldParent.putEntry(oldName, f)
 		f.Parent = oldParent
 		return err
 	}
@@ -155,7 +153,7 @@ func (fs *FileSystem) addEntry(dir *File, f *File, day int) error {
 		dir.Size += need
 		dir.ModDay = day
 	}
-	dir.Entries[f.Name] = f
+	dir.putEntry(f.Name, f)
 	f.Parent = dir
 	return nil
 }

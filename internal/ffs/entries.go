@@ -1,0 +1,70 @@
+package ffs
+
+// Directory entries are kept in a slice sorted by name. Directories in
+// the aging workloads are small (one per cylinder group plus the root),
+// so binary search beats hashing once map overhead is counted, the
+// entry table recycles with its File through the arena without
+// reallocating, and iteration order is deterministic by construction —
+// the one place the maporder invariant used to need careful sorting.
+
+// dirEnt is one directory entry.
+type dirEnt struct {
+	name string
+	file *File
+}
+
+// entryIndex returns name's position in d's sorted entry table and
+// whether it is present; absent names return their insertion point.
+func (d *File) entryIndex(name string) (int, bool) {
+	lo, hi := 0, len(d.entries)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if d.entries[mid].name < name {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, lo < len(d.entries) && d.entries[lo].name == name
+}
+
+// lookupEntry returns the child named name.
+func (d *File) lookupEntry(name string) (*File, bool) {
+	if i, ok := d.entryIndex(name); ok {
+		return d.entries[i].file, true
+	}
+	return nil, false
+}
+
+// NumEntries returns the number of entries in the directory.
+func (d *File) NumEntries() int { return len(d.entries) }
+
+// EachEntry calls fn for every entry in ascending name order.
+func (d *File) EachEntry(fn func(name string, f *File)) {
+	for _, e := range d.entries {
+		fn(e.name, e.file)
+	}
+}
+
+// putEntry inserts or replaces name → f in the sorted table.
+func (d *File) putEntry(name string, f *File) {
+	i, ok := d.entryIndex(name)
+	if ok {
+		d.entries[i].file = f
+		return
+	}
+	d.entries = append(d.entries, dirEnt{})
+	copy(d.entries[i+1:], d.entries[i:])
+	d.entries[i] = dirEnt{name: name, file: f}
+}
+
+// deleteEntry removes name; absent names are a no-op.
+func (d *File) deleteEntry(name string) {
+	i, ok := d.entryIndex(name)
+	if !ok {
+		return
+	}
+	copy(d.entries[i:], d.entries[i+1:])
+	d.entries[len(d.entries)-1] = dirEnt{}
+	d.entries = d.entries[:len(d.entries)-1]
+}

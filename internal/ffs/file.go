@@ -21,8 +21,10 @@ type File struct {
 	// logical data block each precedes on a sequential walk.
 	Indirects []Indirect
 
-	Parent  *File
-	Entries map[string]*File // directories only
+	Parent *File
+	// entries is the directory entry table, sorted by name; see
+	// entries.go. Directories only.
+	entries []dirEnt
 
 	CreateDay int
 	ModDay    int
@@ -205,7 +207,7 @@ func (fs *FileSystem) growTail(f *File, targetFrags int) error {
 	fpb := fs.fpb
 	lastIdx := len(f.Blocks) - 1
 	addr := f.Blocks[lastIdx]
-	c := fs.CgOf(addr)
+	c := fs.cgs[fs.cgIndexOf(addr)]
 	if fs.freespace() < int64(targetFrags-f.TailFrags) {
 		fs.Stats.NoSpaceFailures++
 		return ErrNoSpace
@@ -281,24 +283,24 @@ func (fs *FileSystem) CreateFile(dir *File, name string, size int64, day int) (f
 		//lint:ignore ffsvet/nopanic precondition panic: rejects a caller bug (API misuse), never reachable from replayed disk state
 		panic("ffs: CreateFile in non-directory")
 	}
-	if _, exists := dir.Entries[name]; exists {
+	if _, exists := dir.lookupEntry(name); exists {
 		return nil, ErrExists
 	}
 	ino, err := fs.ialloc(fs.InoToCg(dir.Ino))
 	if err != nil {
 		return nil, err
 	}
-	f = &File{
-		Ino:       ino,
-		Name:      name,
-		CreateDay: day,
-		ModDay:    day,
-		sectionCg: fs.InoToCg(ino),
-	}
+	f = fs.newFile()
+	f.Ino = ino
+	f.Name = name
+	f.CreateDay = day
+	f.ModDay = day
+	f.sectionCg = fs.InoToCg(ino)
 	fs.files[ino] = f
 	if err := fs.addEntry(dir, f, day); err != nil {
 		fs.ifree(ino)
 		delete(fs.files, ino)
+		fs.recycleFile(f)
 		return nil, err
 	}
 	fs.Stats.FilesCreated++
@@ -313,7 +315,7 @@ func (fs *FileSystem) CreateFile(dir *File, name string, size int64, day int) (f
 func (fs *FileSystem) Delete(f *File) (err error) {
 	defer recoverCorruption(&err)
 	if f.IsDir {
-		if len(f.Entries) > 0 {
+		if len(f.entries) > 0 {
 			return fmt.Errorf("ffs: directory %s not empty", f.Path())
 		}
 		if f.Parent == nil {
@@ -330,10 +332,11 @@ func (fs *FileSystem) removeFile(f *File) {
 	fs.dropLayout(f)
 	fs.freeFileBlocks(f, 0)
 	if f.Parent != nil {
-		delete(f.Parent.Entries, f.Name)
+		f.Parent.deleteEntry(f.Name)
 	}
 	fs.ifree(f.Ino)
 	delete(fs.files, f.Ino)
+	fs.recycleFile(f)
 }
 
 // freeFileBlocks releases all data blocks with logical index ≥ keep and
@@ -407,6 +410,5 @@ func (fs *FileSystem) Truncate(f *File, newSize int64, day int) (err error) {
 
 // Lookup finds name in dir.
 func (fs *FileSystem) Lookup(dir *File, name string) (*File, bool) {
-	f, ok := dir.Entries[name]
-	return f, ok
+	return dir.lookupEntry(name)
 }

@@ -278,7 +278,7 @@ func TestDeleteDirectoryRules(t *testing.T) {
 	if err := fs.Delete(d); err == nil {
 		t.Error("deleted non-empty directory")
 	}
-	child := d.Entries["child"]
+	child, _ := fs.Lookup(d, "child")
 	if err := fs.Delete(child); err != nil {
 		t.Fatal(err)
 	}

@@ -161,7 +161,6 @@ func loadImage(r io.Reader, policy Policy, lenient bool) (fs *FileSystem, err er
 			sectionCg: inf.SectionCg,
 		}
 		if f.IsDir {
-			f.Entries = make(map[string]*File)
 			fs.cgs[fs.InoToCg(f.Ino)].ndir++
 		}
 		if !lenient {
@@ -220,7 +219,7 @@ func loadImage(r io.Reader, policy Policy, lenient bool) (fs *FileSystem, err er
 			}
 			return nil, fmt.Errorf("ffs: file %d has bad parent %d", inf.Ino, inf.ParentIno)
 		}
-		parent.Entries[f.Name] = f
+		parent.putEntry(f.Name, f)
 		f.Parent = parent
 	}
 	if fs.root == nil {

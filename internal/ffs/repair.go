@@ -178,30 +178,27 @@ func (fs *FileSystem) repairTree(inos []int, rep *RepairReport) {
 		old[ino] = link{p, f.Name}
 	}
 
-	// Count the entry-map damage the rebuild below will erase: stale or
-	// aliased entries, and canonical entries that are missing.
+	// Count the entry-table damage the rebuild below will erase: stale
+	// or aliased entries, and canonical entries that are missing.
 	for _, ino := range inos {
 		f := fs.files[ino]
-		for name, child := range f.Entries {
-			if !f.IsDir || !live(child) || child.Parent != f || child.Name != name {
+		for _, e := range f.entries {
+			if !f.IsDir || !live(e.file) || e.file.Parent != f || e.file.Name != e.name {
 				rep.RelinkedFiles++
 			}
 		}
 		if f != root && live(f.Parent) && f.Parent.IsDir {
-			if got, ok := f.Parent.Entries[f.Name]; !ok || got != f {
+			if got, ok := f.Parent.lookupEntry(f.Name); !ok || got != f {
 				rep.RelinkedFiles++
 			}
 		}
 	}
 
-	// Entry maps are rebuilt from scratch below.
+	// Entry tables are rebuilt from scratch below.
 	for _, ino := range inos {
 		f := fs.files[ino]
-		if f.IsDir {
-			f.Entries = make(map[string]*File)
-		} else {
-			f.Entries = nil
-		}
+		clear(f.entries)
+		f.entries = f.entries[:0]
 	}
 
 	// Reattach files whose parent is dead, not a directory, or itself.
@@ -236,7 +233,7 @@ func (fs *FileSystem) repairTree(inos []int, rep *RepairReport) {
 	for _, ino := range inos {
 		reach(fs.files[ino])
 	}
-	// Rebuild the entry maps, renaming on collision.
+	// Rebuild the entry tables, renaming on collision.
 	for _, ino := range inos {
 		f := fs.files[ino]
 		if f == root {
@@ -246,12 +243,12 @@ func (fs *FileSystem) repairTree(inos []int, rep *RepairReport) {
 		if name == "" {
 			name = fmt.Sprintf("ino%d", ino)
 		}
-		if _, taken := f.Parent.Entries[name]; taken {
+		if _, taken := f.Parent.lookupEntry(name); taken {
 			name = fmt.Sprintf("%s~%d", name, ino)
 			rep.RenamedFiles++
 		}
 		f.Name = name
-		f.Parent.Entries[name] = f
+		f.Parent.putEntry(name, f)
 	}
 	for _, ino := range inos {
 		f := fs.files[ino]
@@ -479,6 +476,9 @@ func (fs *FileSystem) rebuildGroups(claimed *bitset.Set, rep *RepairReport) {
 			rep.GroupsRebuilt++
 		}
 	}
+	// The wholesale rebuild bypassed applyPatternDelta; refresh the
+	// file-system-wide cached free counts from the new group counters.
+	fs.recountFree()
 }
 
 // rebuildInodes makes every group's inode bitmap, nifree, and ndir agree

@@ -75,12 +75,12 @@ func TestRepairFixesEachCorruptionClass(t *testing.T) {
 			fs.Cg(0).ndir++
 		}},
 		{"broken dir linkage", func(fs *FileSystem, f *File) {
-			delete(f.Parent.Entries, f.Name)
+			f.Parent.deleteEntry(f.Name)
 		}},
 		{"renamed entry", func(fs *FileSystem, f *File) {
 			parent := f.Parent
-			delete(parent.Entries, f.Name)
-			parent.Entries["sneaky"] = f
+			parent.deleteEntry(f.Name)
+			parent.putEntry("sneaky", f)
 		}},
 		{"layout counter drift", func(fs *FileSystem, f *File) {
 			fs.layoutOpt++
@@ -150,7 +150,7 @@ func TestRepairTornWrite(t *testing.T) {
 func TestRepairReattachesOrphan(t *testing.T) {
 	fs, f := corruptibleFs(t)
 	// Sever both directions: no entry, dangling parent pointer.
-	delete(f.Parent.Entries, f.Name)
+	f.Parent.deleteEntry(f.Name)
 	f.Parent = &File{Ino: f.Parent.Ino, IsDir: true} // dead copy
 	rep := mustRepair(t, fs)
 	if rep.ReattachedOrphans != 1 {
@@ -172,9 +172,9 @@ func TestRepairBreaksParentCycle(t *testing.T) {
 		t.Fatal(err)
 	}
 	// a and b point at each other; neither reaches the root.
-	delete(fs.Root().Entries, "a")
+	fs.Root().deleteEntry("a")
 	a.Parent = b
-	b.Entries["a"] = a
+	b.putEntry("a", a)
 	rep := mustRepair(t, fs)
 	if rep.ReattachedOrphans == 0 {
 		t.Fatalf("cycle not reported: %v", rep)

@@ -50,6 +50,25 @@ type FileSystem struct {
 	// files; see layoutacct.go.
 	layoutOpt   int64
 	layoutTotal int64
+
+	// patterns is the shared read-only block-pattern table, indexed by a
+	// block's fragment free-mask; see buildPatternTable.
+	patterns []blockPattern
+
+	// freeFrags and freeBlks cache the file-system-wide free counts so
+	// freespace() and the section-switch scans stop summing every group
+	// on each allocation. applyPatternDelta maintains them; Check
+	// verifies them against the per-group counters.
+	freeFrags int64
+	freeBlks  int64
+
+	// ppi caches BlockSize/4 (block pointers per indirect block).
+	ppi int
+
+	// pool recycles File structures between delete and create so the
+	// steady-state replay loop allocates nothing; see arena.go.
+	pool    filePool
+	pooling bool
 }
 
 // AllocFaultHook is the fault-injection point for the allocator. It is
@@ -91,11 +110,14 @@ func NewFileSystem(p Params, policy Policy) (*FileSystem, error) {
 		return nil, fmt.Errorf("ffs: nil policy")
 	}
 	fs := &FileSystem{
-		P:      p,
-		fpb:    p.FragsPerBlock(),
-		files:  make(map[int]*File),
-		policy: policy,
+		P:       p,
+		fpb:     p.FragsPerBlock(),
+		files:   make(map[int]*File),
+		policy:  policy,
+		pooling: true,
 	}
+	fs.patterns = buildPatternTable(fs.fpb)
+	fs.ppi = p.BlockSize / 4
 
 	// Carve the partition into cylinder groups of whole blocks; the
 	// first groups absorb the remainder, one block each.
@@ -192,22 +214,23 @@ func (fs *FileSystem) InoToCg(ino int) int { return (ino / fs.ipg) % len(fs.cgs)
 func (fs *FileSystem) inoNumber(cg, slot int) int { return cg*fs.ipg + slot }
 
 // FreeFrags returns the number of free fragments file-system wide,
-// including the reserve.
-func (fs *FileSystem) FreeFrags() int64 {
-	var n int64
-	for _, c := range fs.cgs {
-		n += int64(c.FreeFrags())
-	}
-	return n
-}
+// including the reserve. The count is maintained incrementally by
+// applyPatternDelta, so this is O(1).
+func (fs *FileSystem) FreeFrags() int64 { return fs.freeFrags }
 
-// FreeBlocksTotal returns the number of fully free blocks.
-func (fs *FileSystem) FreeBlocksTotal() int64 {
-	var n int64
+// FreeBlocksTotal returns the number of fully free blocks, maintained
+// incrementally like FreeFrags.
+func (fs *FileSystem) FreeBlocksTotal() int64 { return fs.freeBlks }
+
+// recountFree recomputes the cached file-system-wide free counts from
+// the per-group counters, for callers (repair) that rebuild groups
+// wholesale instead of going through applyPatternDelta.
+func (fs *FileSystem) recountFree() {
+	fs.freeFrags, fs.freeBlks = 0, 0
 	for _, c := range fs.cgs {
-		n += int64(c.nbfree)
+		fs.freeFrags += int64(c.FreeFrags())
+		fs.freeBlks += int64(c.nbfree)
 	}
-	return n
 }
 
 // AvgBFree returns the mean free-block count per group, the threshold

@@ -1,0 +1,39 @@
+package perfbench
+
+import (
+	"testing"
+)
+
+// TestSteadyReplayZeroAllocs pins the tentpole property directly with
+// the runtime's own counter: after warmup, one full state-neutral
+// replay cycle — creates, rewrites, and deletes through the production
+// aging.Stepper path — performs zero heap allocations.
+func TestSteadyReplayZeroAllocs(t *testing.T) {
+	fx, err := NewFixture(1996)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := setupReplaySteady(fx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Setup already primed two cycles; a couple more let every recycled
+	// capacity reach its steady state before the measured runs.
+	for i := 0; i < 2; i++ {
+		if err := inst.Op(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var opErr error
+	allocs := testing.AllocsPerRun(5, func() {
+		if err := inst.Op(); err != nil {
+			opErr = err
+		}
+	})
+	if opErr != nil {
+		t.Fatal(opErr)
+	}
+	if allocs != 0 {
+		t.Fatalf("steady replay cycle allocates: %v allocs/cycle, want 0", allocs)
+	}
+}

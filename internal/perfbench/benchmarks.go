@@ -26,6 +26,7 @@ func All() []Benchmark {
 		{Name: "ffs.alloc.ffs", Quick: true, Setup: setupAlloc(core.Original{})},
 		{Name: "ffs.alloc.realloc", Quick: true, Setup: setupAlloc(core.Realloc{})},
 		{Name: "aging.day", Quick: true, Setup: setupAgingDay},
+		{Name: "replay.steady", Quick: true, Setup: setupReplaySteady, CheckAllocs: true, MaxAllocsPerOp: 0},
 		{Name: "layout.rescan", Quick: true, Setup: setupLayoutRescan},
 		{Name: "layout.incremental", Quick: true, Setup: setupLayoutIncremental},
 		{Name: "disk.requests", Quick: true, Setup: setupDiskRequests},
@@ -145,6 +146,86 @@ func setupAgingDay(fx *Fixture) (*Instance, error) {
 		return map[string]float64{"mb_per_s": float64(written) / 1e6 / medianSec}
 	}
 	return inst, nil
+}
+
+// setupReplaySteady measures the steady-state replay loop with a
+// state-neutral operation cycle: a fixed set of files is created and
+// deleted through aging.Stepper — the exact production op path — so
+// every repetition starts and ends with the same live-file population.
+// After the warmup cycles (which grow the File arena, the directory
+// entry tables, and the ID/name caches to their steady sizes) the
+// cycle performs zero heap allocations per operation; the benchmark
+// carries a hard allocs/op budget of 0 that -check enforces, and
+// TestSteadyReplayZeroAllocs pins the same property with
+// testing.AllocsPerRun.
+func setupReplaySteady(fx *Fixture) (*Instance, error) {
+	fsys, err := ffs.NewFileSystem(fx.Cfg.FsParams, core.Realloc{})
+	if err != nil {
+		return nil, err
+	}
+	st, err := aging.NewStepper(fsys)
+	if err != nil {
+		return nil, err
+	}
+	ops := steadyCycle(fx.Cfg.FsParams.NumCg, fx.Seed)
+	op := func() error {
+		for i := range ops {
+			if err := st.Apply(ops[i]); err != nil {
+				return err
+			}
+		}
+		if st.NoSpace > 0 {
+			return fmt.Errorf("replay.steady: cycle ran out of space")
+		}
+		return nil
+	}
+	// Two priming cycles: the first populates the caches and pools, the
+	// second lets recycled capacities settle.
+	if err := op(); err != nil {
+		return nil, err
+	}
+	if err := op(); err != nil {
+		return nil, err
+	}
+	return &Instance{Op: op, Units: int64(len(ops))}, nil
+}
+
+// steadyCycle builds one state-neutral op cycle: create a working set
+// of files across every group (sizes spanning the frag, full-block,
+// and indirect paths), rewrite a third of them, then delete them all.
+func steadyCycle(numCg int, seed int64) []trace.Op {
+	rng := rand.New(rand.NewSource(seed + 3))
+	sizes := []int64{600, 2 << 10, 7 << 10, 64 << 10, 300 << 10}
+	const perCg = 8
+	var ops []trace.Op
+	id := int64(1)
+	var created []trace.Op
+	for cg := 0; cg < numCg; cg++ {
+		for k := 0; k < perCg; k++ {
+			op := trace.Op{
+				Day: 0, Sec: float64(len(ops)), Kind: trace.OpCreate,
+				ID: id, Cg: cg, Size: sizes[rng.Intn(len(sizes))],
+			}
+			ops = append(ops, op)
+			created = append(created, op)
+			id++
+		}
+	}
+	for i, c := range created {
+		if i%3 == 0 {
+			ops = append(ops, trace.Op{
+				Day: 0, Sec: float64(len(ops)), Kind: trace.OpRewrite,
+				ID: c.ID, Cg: c.Cg, Size: c.Size,
+			})
+		}
+	}
+	for _, c := range created {
+		ops = append(ops, trace.Op{
+			Day: 0, Sec: float64(len(ops)), Kind: trace.OpDelete,
+			ID: c.ID, Cg: c.Cg,
+		})
+	}
+	return ops
 }
 
 // busiestDay returns the day carrying the most operations (lowest day

@@ -107,6 +107,29 @@ func Regressions(deltas []Delta) []Delta {
 	return bad
 }
 
+// BudgetViolations checks a report against the registry's allocation
+// budgets: every benchmark registered with CheckAllocs whose measured
+// allocs/op exceeds its MaxAllocsPerOp yields one message naming the
+// benchmark. Unlike the median comparison this needs no baseline — the
+// budget is absolute.
+func BudgetViolations(rep *Report) []string {
+	var bad []string
+	for _, bm := range All() {
+		if !bm.CheckAllocs {
+			continue
+		}
+		r := rep.Find(bm.Name)
+		if r == nil {
+			continue // not selected this run
+		}
+		if r.AllocsPerOp > bm.MaxAllocsPerOp {
+			bad = append(bad, fmt.Sprintf("%s: %.3f allocs/op exceeds budget %.3f",
+				bm.Name, r.AllocsPerOp, bm.MaxAllocsPerOp))
+		}
+	}
+	return bad
+}
+
 // ExitCode maps a comparison to the process exit status cmd/perfbench
 // uses: 0 clean, 1 regression.
 func ExitCode(deltas []Delta) int {

@@ -80,11 +80,25 @@ func RunSuite(fx *Fixture, opts Options) (*Report, error) {
 		if err != nil {
 			return nil, fmt.Errorf("perfbench: setup %s: %w", bm.Name, err)
 		}
-		samples, err := measure(inst, opts)
+		samples, allocs, bytes, err := measure(inst, opts)
 		if err != nil {
 			return nil, fmt.Errorf("perfbench: measuring %s: %w", bm.Name, err)
 		}
-		results = append(results, Summarize(bm.Name, inst, samples, opts))
+		if bm.CheckAllocs {
+			// Budget-gated benchmarks need an exact count: the timed
+			// window above also catches ambient allocations from other
+			// Ps (GC workers, runtime timers), which would break a hard
+			// zero budget. Re-measure quiesced, the way
+			// testing.AllocsPerRun does.
+			allocs, bytes, err = measureAllocs(inst, opts.Reps)
+			if err != nil {
+				return nil, fmt.Errorf("perfbench: measuring %s allocs: %w", bm.Name, err)
+			}
+		}
+		res := Summarize(bm.Name, inst, samples, opts)
+		res.AllocsPerOp = allocs
+		res.BytesPerOp = bytes
+		results = append(results, res)
 	}
 	if len(results) == 0 {
 		return nil, fmt.Errorf("perfbench: no benchmarks selected")
@@ -106,29 +120,73 @@ func RunSuite(fx *Fixture, opts Options) (*Report, error) {
 }
 
 // measure runs the warmup and timed repetitions, returning per-rep
-// nanosecond samples. The GC barrier between warmup and measurement
-// puts every benchmark's timed loop behind the same heap state:
-// without it, allocation-heavy benchmarks (checkpoint encode, clone)
-// measure whatever garbage the previous benchmark left behind, and
-// medians swing several-fold between otherwise identical runs.
-func measure(inst *Instance, opts Options) ([]float64, error) {
+// nanosecond samples plus the heap allocation rates (allocations and
+// bytes per inner operation, averaged over all timed reps) from
+// runtime.MemStats deltas taken outside the timed region. The GC
+// barrier between warmup and measurement puts every benchmark's timed
+// loop behind the same heap state: without it, allocation-heavy
+// benchmarks (checkpoint encode, clone) measure whatever garbage the
+// previous benchmark left behind, and medians swing several-fold
+// between otherwise identical runs.
+func measure(inst *Instance, opts Options) (samples []float64, allocsPerOp, bytesPerOp float64, err error) {
 	for i := 0; i < opts.Warmup; i++ {
 		if err := inst.Op(); err != nil {
-			return nil, err
+			return nil, 0, 0, err
 		}
 	}
 	runtime.GC()
-	samples := make([]float64, opts.Reps)
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	samples = make([]float64, opts.Reps)
 	for i := range samples {
 		t0 := now()
 		err := inst.Op()
 		d := since(t0)
 		if err != nil {
-			return nil, err
+			return nil, 0, 0, err
 		}
 		samples[i] = float64(d.Nanoseconds())
 	}
-	return samples, nil
+	runtime.ReadMemStats(&m1)
+	units := inst.Units
+	if units <= 0 {
+		units = 1
+	}
+	denom := float64(opts.Reps) * float64(units)
+	allocsPerOp = float64(m1.Mallocs-m0.Mallocs) / denom
+	bytesPerOp = float64(m1.TotalAlloc-m0.TotalAlloc) / denom
+	return samples, allocsPerOp, bytesPerOp, nil
+}
+
+// measureAllocs counts heap allocations per inner operation with the
+// scheduler quiesced to one P (the testing.AllocsPerRun technique):
+// with a single P and no timed section, the MemStats delta contains
+// only what Op itself allocates, so an exact zero is measurable.
+func measureAllocs(inst *Instance, runs int) (allocsPerOp, bytesPerOp float64, err error) {
+	if runs <= 0 {
+		runs = 1
+	}
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+	// One settling run under the new scheduler state.
+	if err := inst.Op(); err != nil {
+		return 0, 0, err
+	}
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	for i := 0; i < runs; i++ {
+		if err := inst.Op(); err != nil {
+			return 0, 0, err
+		}
+	}
+	runtime.ReadMemStats(&m1)
+	units := inst.Units
+	if units <= 0 {
+		units = 1
+	}
+	denom := float64(runs) * float64(units)
+	allocsPerOp = float64(m1.Mallocs-m0.Mallocs) / denom
+	bytesPerOp = float64(m1.TotalAlloc-m0.TotalAlloc) / denom
+	return allocsPerOp, bytesPerOp, nil
 }
 
 // Summarize reduces one benchmark's samples to its Result. It is a

@@ -13,7 +13,7 @@
 // byte-identical across runs. cmd/perfbench drives this package from
 // the command line, the root bench_test.go drives the same registry
 // through `go test -bench`, and CI's bench-smoke job compares a fresh
-// quick-suite run against the committed BENCH_5.json baseline with the
+// quick-suite run against the committed BENCH_6.json baseline with the
 // noise-aware detector in compare.go.
 //
 // The package sits under ffsvet's detrand analyzer like every other
@@ -34,6 +34,12 @@ type Benchmark struct {
 	// clones, workload slicing, one priming run) is excluded from
 	// measurement.
 	Setup func(fx *Fixture) (*Instance, error)
+	// CheckAllocs subjects the benchmark to the allocation budget:
+	// -check fails when the measured allocs/op exceeds MaxAllocsPerOp.
+	// A separate flag (not a sentinel value of the budget) so the
+	// zero-valued entries above stay ungated.
+	CheckAllocs    bool
+	MaxAllocsPerOp float64
 }
 
 // Instance is a ready-to-measure benchmark: Op performs one fixed work

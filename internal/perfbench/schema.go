@@ -26,6 +26,12 @@ type Result struct {
 	CILoNs    float64   `json:"ci_lo_ns"`
 	CIHiNs    float64   `json:"ci_hi_ns"`
 	NsPerOp   float64   `json:"ns_per_op"`
+	// AllocsPerOp and BytesPerOp are heap-allocation rates per inner
+	// operation, from runtime.MemStats deltas around the timed reps.
+	// Additive fields: reports without them (pre-v6 baselines) decode
+	// with zeros, so the schema version is unchanged.
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
 	// Metrics holds derived rates (ops_per_s, mb_per_s, ...).
 	// encoding/json marshals map keys sorted, so output stays
 	// byte-stable.

@@ -34,14 +34,18 @@ func Diff(snaps []trace.Snapshot, numCg, ipg int, rng *rand.Rand) (*trace.Worklo
 	inoCg := func(ino int64) int { return int(ino/int64(ipg)) % numCg }
 
 	var ops []trace.Op
+	// Two snapshot-sized maps are reused across the whole series (the
+	// roles swap each interval; clear() keeps the grown buckets) instead
+	// of allocating a fresh map per snapshot.
 	prev := map[int64]trace.FileMeta{}
+	cur := map[int64]trace.FileMeta{}
+	var dead []int64
 	lastDay := 0
 	for si, snap := range snaps {
 		if si > 0 && snap.Day <= snaps[si-1].Day {
 			return nil, fmt.Errorf("workload: snapshots out of order at day %d", snap.Day)
 		}
 		lastDay = snap.Day
-		cur := make(map[int64]trace.FileMeta, len(snap.Files))
 		// Track the time range of known operations this interval so
 		// random deletion times land amid real activity.
 		loSec, hiSec := 9.0*3600, 18.0*3600
@@ -84,7 +88,7 @@ func Diff(snaps []trace.Snapshot, numCg, ipg int, rng *rand.Rand) (*trace.Worklo
 		// drawing their times: iterating the map directly would pair
 		// inodes with rng draws in map order, making the reconstructed
 		// stream differ from run to run.
-		var dead []int64
+		dead = dead[:0]
 		for ino := range prev {
 			if _, still := cur[ino]; !still {
 				dead = append(dead, ino)
@@ -98,7 +102,8 @@ func Diff(snaps []trace.Snapshot, numCg, ipg int, rng *rand.Rand) (*trace.Worklo
 				ID: ino, Cg: inoCg(ino),
 			})
 		}
-		prev = cur
+		prev, cur = cur, prev
+		clear(cur)
 	}
 	sort.Slice(ops, func(i, j int) bool { return ops[i].Before(ops[j]) })
 	return &trace.Workload{Days: lastDay + 1, Ops: ops}, nil

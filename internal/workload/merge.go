@@ -29,30 +29,57 @@ func Merge(base *trace.Workload, traceDays []trace.TraceDay, numCg int, rng *ran
 	if numCg <= 0 {
 		return nil, fmt.Errorf("workload: bad group count %d", numCg)
 	}
-	// Index base operations by day.
-	byDay := map[int][]trace.Op{}
+	// Index base operations by day: count first, then carve per-day
+	// views out of one backing slice instead of growing map values.
+	counts := make([]int, base.Days)
 	for _, op := range base.Ops {
-		byDay[op.Day] = append(byDay[op.Day], op)
+		if op.Day >= 0 && op.Day < base.Days {
+			counts[op.Day]++
+		}
 	}
-	merged := make([]trace.Op, len(base.Ops))
+	byDay := make([][]trace.Op, base.Days)
+	backing := make([]trace.Op, 0, len(base.Ops))
+	for day, n := range counts {
+		start := len(backing)
+		backing = backing[:start+n]
+		byDay[day] = backing[start:start:len(backing)]
+	}
+	for _, op := range base.Ops {
+		if op.Day >= 0 && op.Day < base.Days {
+			byDay[op.Day] = append(byDay[op.Day], op)
+		}
+	}
+	// Draw every day's trace day up front — the draw order (one per day,
+	// empty or not) is part of the deterministic rng sequence — so the
+	// merged slice can be sized exactly: two ops per short-lived file.
+	tds := make([]trace.TraceDay, base.Days)
+	extra := 0
+	for day := range tds {
+		tds[day] = traceDays[rng.Intn(len(traceDays))]
+		extra += 2 * len(tds[day].Files)
+	}
+	merged := make([]trace.Op, len(base.Ops), len(base.Ops)+extra)
 	copy(merged, base.Ops)
 	nextID := int64(-1)
 
+	type cgAct struct {
+		cg      int
+		ops     int
+		meanSec float64
+	}
+	acts := make([]cgAct, numCg)
+	dirFiles := map[int][]trace.ShortLivedFile{}
+	var dirs []int
+
 	for day := 0; day < base.Days; day++ {
-		td := traceDays[rng.Intn(len(traceDays))]
+		td := tds[day]
 		if len(td.Files) == 0 {
 			continue
 		}
 		// Rank the day's groups by operation count; compute each
 		// group's mean operation time as its activity peak.
-		type cgAct struct {
-			cg      int
-			ops     int
-			meanSec float64
-		}
-		acts := make([]cgAct, numCg)
 		for cg := range acts {
-			acts[cg].cg = cg
+			acts[cg] = cgAct{cg: cg}
 		}
 		for _, op := range byDay[day] {
 			if op.Cg >= 0 && op.Cg < numCg {
@@ -70,12 +97,12 @@ func Merge(base *trace.Workload, traceDays []trace.TraceDay, numCg int, rng *ran
 		sort.SliceStable(acts, func(i, j int) bool { return acts[i].ops > acts[j].ops })
 
 		// Rank trace directories by their op counts and group their
-		// files.
-		dirFiles := map[int][]trace.ShortLivedFile{}
+		// files. The map and rank slice are reused across days.
+		clear(dirFiles)
 		for _, f := range td.Files {
 			dirFiles[f.Dir] = append(dirFiles[f.Dir], f)
 		}
-		dirs := make([]int, 0, len(dirFiles))
+		dirs = dirs[:0]
 		for d := range dirFiles {
 			dirs = append(dirs, d)
 		}

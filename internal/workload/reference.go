@@ -1,7 +1,6 @@
 package workload
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"math/rand"
@@ -33,6 +32,8 @@ type refFile struct {
 	// static draw, so rewrites concentrate on a stable working set
 	// (the paper's hot set is ~10% of files holding ~19% of bytes).
 	heat float64
+	// listPos is the file's position in reference.liveList while live.
+	listPos int32
 }
 
 type inoPool struct {
@@ -43,8 +44,8 @@ type inoPool struct {
 }
 
 func (p *inoPool) alloc() (int64, bool) {
-	if p.free.Len() > 0 {
-		return heap.Pop(&p.free).(int64), true
+	if len(p.free) > 0 {
+		return p.free.pop(), true
 	}
 	if p.nextSlot >= p.ipg {
 		return 0, false
@@ -55,32 +56,65 @@ func (p *inoPool) alloc() (int64, bool) {
 }
 
 func (p *inoPool) release(ino int64) {
-	heap.Push(&p.free, ino)
+	p.free.push(ino)
 }
 
-// inoHeap is a min-heap of inode numbers.
+// inoHeap is a min-heap of inode numbers. Hand-rolled rather than
+// container/heap so pushes and pops do not box every value into an
+// interface; pop order (always the minimum) is identical.
 type inoHeap []int64
 
-func (h inoHeap) Len() int            { return len(h) }
-func (h inoHeap) Less(i, j int) bool  { return h[i] < h[j] }
-func (h inoHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *inoHeap) Push(x interface{}) { *h = append(*h, x.(int64)) }
-func (h *inoHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+func (h *inoHeap) push(x int64) {
+	*h = append(*h, x)
+	s := *h
+	for i := len(s) - 1; i > 0; {
+		parent := (i - 1) / 2
+		if s[parent] <= s[i] {
+			break
+		}
+		s[parent], s[i] = s[i], s[parent]
+		i = parent
+	}
+}
+
+func (h *inoHeap) pop() int64 {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	*h = s[:n]
+	s = s[:n]
+	for i := 0; ; {
+		kid := 2*i + 1
+		if kid >= n {
+			break
+		}
+		if kid+1 < n && s[kid+1] < s[kid] {
+			kid++
+		}
+		if s[i] <= s[kid] {
+			break
+		}
+		s[i], s[kid] = s[kid], s[i]
+		i = kid
+	}
+	return top
 }
 
 type reference struct {
 	cfg Config
 	rng *rand.Rand
 
-	pools    []*inoPool
-	live     map[int64]*refFile
-	liveList []int64 // for O(1) random victim selection
-	liveIdx  map[int64]int
+	pools []*inoPool
+	// files is an index-stable arena of file records; freeSlots holds
+	// the indices of dead ones for reuse. byIno maps an inode number to
+	// its arena index (-1 while dead) — inode numbers are dense, so a
+	// flat slice replaces the old per-op map churn. liveList holds the
+	// arena indices of live files for O(1) random victim selection.
+	files     []refFile
+	freeSlots []int32
+	byIno     []int32
+	liveList  []int32
 
 	dirBase  []float64 // directory activity weights
 	dirPhase []float64
@@ -101,10 +135,12 @@ func GenerateReference(cfg Config) (*ReferenceResult, error) {
 	r := &reference{
 		cfg:         cfg,
 		rng:         rand.New(rand.NewSource(cfg.Seed)),
-		live:        make(map[int64]*refFile),
-		liveIdx:     make(map[int64]int),
+		byIno:       make([]int32, cfg.NumCg*cfg.InodesPerGroup),
 		nextShortID: -1,
 		util:        cfg.CruiseUtil,
+	}
+	for i := range r.byIno {
+		r.byIno[i] = -1
 	}
 	for cg := 0; cg < cfg.NumCg; cg++ {
 		r.pools = append(r.pools, &inoPool{cg: cg, ipg: int64(cfg.InodesPerGroup)})
@@ -121,7 +157,7 @@ func GenerateReference(cfg Config) (*ReferenceResult, error) {
 	return &ReferenceResult{
 		GroundTruth:  &trace.Workload{Days: cfg.Days, Ops: r.ops},
 		Snapshots:    r.snaps,
-		EndLiveFiles: len(r.live),
+		EndLiveFiles: len(r.liveList),
 		EndUsedBytes: r.usedBytes,
 	}, nil
 }
@@ -165,25 +201,37 @@ func (r *reference) inoCg(ino int64) int {
 	return int(ino/int64(r.cfg.InodesPerGroup)) % r.cfg.NumCg
 }
 
-func (r *reference) addLive(f *refFile) {
-	r.live[f.ino] = f
-	r.liveIdx[f.ino] = len(r.liveList)
-	r.liveList = append(r.liveList, f.ino)
+// addLive claims an arena slot for f, registers it live, and returns
+// its arena index.
+func (r *reference) addLive(f refFile) int32 {
+	var idx int32
+	if n := len(r.freeSlots); n > 0 {
+		idx = r.freeSlots[n-1]
+		r.freeSlots = r.freeSlots[:n-1]
+		r.files[idx] = f
+	} else {
+		idx = int32(len(r.files))
+		r.files = append(r.files, f)
+	}
+	r.files[idx].listPos = int32(len(r.liveList))
+	r.byIno[f.ino] = idx
+	r.liveList = append(r.liveList, idx)
 	r.usedBytes += fragRound(f.size)
+	return idx
 }
 
-func (r *reference) removeLive(ino int64) *refFile {
-	f := r.live[ino]
-	idx := r.liveIdx[ino]
-	last := len(r.liveList) - 1
-	r.liveList[idx] = r.liveList[last]
-	r.liveIdx[r.liveList[idx]] = idx
+func (r *reference) removeLive(ino int64) {
+	idx := r.byIno[ino]
+	f := &r.files[idx]
+	last := int32(len(r.liveList) - 1)
+	moved := r.liveList[last]
+	r.liveList[f.listPos] = moved
+	r.files[moved].listPos = f.listPos
 	r.liveList = r.liveList[:last]
-	delete(r.liveIdx, ino)
-	delete(r.live, ino)
+	r.byIno[ino] = -1
+	r.freeSlots = append(r.freeSlots, idx)
 	r.usedBytes -= fragRound(f.size)
 	r.pools[r.inoCg(ino)].release(ino)
-	return f
 }
 
 // createFile performs a long-lived create at the given time.
@@ -192,12 +240,11 @@ func (r *reference) createFile(day int, sec float64, dir int, size int64) error 
 	if err != nil {
 		return err
 	}
-	f := &refFile{
+	r.addLive(refFile{
 		ino: ino, dir: dir, size: size,
 		ctime: float64(day)*86400 + sec,
 		heat:  math.Exp(2 * r.rng.NormFloat64()),
-	}
-	r.addLive(f)
+	})
 	r.ops = append(r.ops, trace.Op{
 		Day: day, Sec: sec, Kind: trace.OpCreate,
 		ID: ino, Cg: r.inoCg(ino), Size: size,
@@ -212,7 +259,7 @@ func (r *reference) pickRewriteTarget() *refFile {
 	var best *refFile
 	bestW := -1.0
 	for k := 0; k < 12; k++ {
-		f := r.live[r.liveList[r.rng.Intn(len(r.liveList))]]
+		f := &r.files[r.liveList[r.rng.Intn(len(r.liveList))]]
 		w := f.heat * math.Pow(float64(f.size)+1024, 0.5)
 		if w > bestW {
 			best, bestW = f, w
@@ -232,7 +279,7 @@ func (r *reference) pickVictim(day int) *refFile {
 	bestW := -1.0
 	now := float64(day) * 86400
 	for k := 0; k < 6; k++ {
-		f := r.live[r.liveList[r.rng.Intn(len(r.liveList))]]
+		f := &r.files[r.liveList[r.rng.Intn(len(r.liveList))]]
 		ageDays := (now - f.ctime) / 86400
 		if ageDays < 0.1 {
 			ageDays = 0.1
@@ -348,7 +395,7 @@ func (r *reference) simulateDay(day int) {
 			// Population trimming removes small files so the byte
 			// controller is barely disturbed.
 			for k := 0; k < 3; k++ {
-				cand := r.live[r.liveList[r.rng.Intn(len(r.liveList))]]
+				cand := &r.files[r.liveList[r.rng.Intn(len(r.liveList))]]
 				if f == nil || cand.size < f.size {
 					f = cand
 				}
@@ -408,8 +455,9 @@ func (r *reference) secAfter(day int, ctime float64) float64 {
 }
 
 func (r *reference) snapshot(day int) {
-	files := make([]trace.FileMeta, 0, len(r.live))
-	for _, f := range r.live {
+	files := make([]trace.FileMeta, 0, len(r.liveList))
+	for _, idx := range r.liveList {
+		f := &r.files[idx]
 		files = append(files, trace.FileMeta{Ino: f.ino, Size: f.size, CTime: f.ctime})
 	}
 	sort.Slice(files, func(i, j int) bool { return files[i].Ino < files[j].Ino })
