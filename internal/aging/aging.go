@@ -16,6 +16,7 @@ package aging
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"strconv"
@@ -69,7 +70,22 @@ type Options struct {
 	// identical either way; the differential tests assert byte-identical
 	// results.
 	NoArena bool
+
+	// Ctx, when non-nil, is polled at every operation and day boundary.
+	// Once it is cancelled the replay stops, emits a final checkpoint at
+	// the exact cursor when a Checkpoint sink is configured (even with
+	// CheckpointEvery zero), and returns an error wrapping
+	// ErrInterrupted plus the context's cause. Resuming from that
+	// checkpoint produces series byte-identical to an uninterrupted run,
+	// which is what lets a daemon drain on SIGTERM without losing or
+	// perturbing in-flight work.
+	Ctx context.Context
 }
+
+// ErrInterrupted reports that a replay stopped because its
+// Options.Ctx was cancelled — a graceful interruption with a final
+// checkpoint, as opposed to a fault-plan *faults.Crash.
+var ErrInterrupted = errors.New("aging: replay interrupted")
 
 // Result is the outcome of a replay.
 type Result struct {
@@ -136,8 +152,10 @@ func ResumeReplay(policy ffs.Policy, wl *trace.Workload, cp *trace.Checkpoint, o
 		return nil, fmt.Errorf("aging: checkpoint was taken under a different workload (hash %016x, want %016x)",
 			cp.WorkloadHash, got)
 	}
+	// Day == firstDay-1 is legitimate: a cancellation checkpoint taken
+	// before the first day completed carries empty series.
 	firstDay := wl.Ops[0].Day
-	if cp.Day < firstDay || cp.NextOp > len(wl.Ops) {
+	if cp.Day < firstDay-1 || cp.NextOp > len(wl.Ops) {
 		return nil, fmt.Errorf("aging: checkpoint cursor (day %d, op %d) outside workload", cp.Day, cp.NextOp)
 	}
 	wantDays := cp.Day - firstDay + 1
@@ -202,12 +220,57 @@ func replayFrom(fsys *ffs.FileSystem, wl *trace.Workload, opts Options, dirs []*
 		defer func() { fsys.FaultHook = nil }()
 	}
 	var wlHash uint64
-	if opts.CheckpointEvery > 0 {
+	if opts.Checkpoint != nil {
 		wlHash = trace.HashWorkload(wl)
 	}
 	var runTr *obs.Tracer
 	if opts.Obs != nil {
 		runTr = opts.Obs.Tracer("run")
+	}
+
+	// writeCheckpoint persists the replay state at a cursor: lastDay is
+	// the last fully completed day (firstDay-1 when none is), nextOp the
+	// index of the first operation not yet applied.
+	writeCheckpoint := func(lastDay, nextOp int) error {
+		var img bytes.Buffer
+		if err := fsys.SaveImage(&img); err != nil {
+			return fmt.Errorf("aging: day %d checkpoint image: %w", lastDay, err)
+		}
+		cp := &trace.Checkpoint{
+			Day:          lastDay,
+			NextOp:       nextOp,
+			SkippedOps:   int64(res.SkippedOps),
+			NoSpaceOps:   int64(res.NoSpaceOps),
+			FaultedOps:   int64(res.FaultedOps),
+			LayoutByDay:  res.LayoutByDay.Values(),
+			UtilByDay:    res.UtilByDay.Values(),
+			WorkloadHash: wlHash,
+			Image:        img.Bytes(),
+		}
+		if err := opts.Checkpoint(cp); err != nil {
+			return fmt.Errorf("aging: day %d checkpoint: %w", lastDay, err)
+		}
+		if runTr != nil {
+			runTr.Emit(float64(lastDay), "checkpoint",
+				obs.I("day", int64(lastDay)), obs.I("next_op", int64(nextOp)))
+		}
+		return nil
+	}
+
+	// interrupted ends a cancelled replay: one final checkpoint at the
+	// exact cursor (so a resume loses no applied work), an event on the
+	// run stream, and a typed error naming the cause.
+	interrupted := func(nextOp int) error {
+		if opts.Checkpoint != nil {
+			if err := writeCheckpoint(day-1, nextOp); err != nil {
+				return err
+			}
+		}
+		if runTr != nil {
+			runTr.Emit(float64(day), "interrupted",
+				obs.I("day", int64(day)), obs.I("op", int64(nextOp)))
+		}
+		return fmt.Errorf("%w at op %d (day %d): %v", ErrInterrupted, nextOp, day, context.Cause(opts.Ctx))
 	}
 
 	// endDay closes the current simulated day: record the series point,
@@ -233,27 +296,8 @@ func replayFrom(fsys *ffs.FileSystem, wl *trace.Workload, opts Options, dirs []*
 			}
 		}
 		if opts.CheckpointEvery > 0 && (day+1)%opts.CheckpointEvery == 0 {
-			var img bytes.Buffer
-			if err := fsys.SaveImage(&img); err != nil {
-				return fmt.Errorf("aging: day %d checkpoint image: %w", day, err)
-			}
-			cp := &trace.Checkpoint{
-				Day:          day,
-				NextOp:       nextOp,
-				SkippedOps:   int64(res.SkippedOps),
-				NoSpaceOps:   int64(res.NoSpaceOps),
-				FaultedOps:   int64(res.FaultedOps),
-				LayoutByDay:  res.LayoutByDay.Values(),
-				UtilByDay:    res.UtilByDay.Values(),
-				WorkloadHash: wlHash,
-				Image:        img.Bytes(),
-			}
-			if err := opts.Checkpoint(cp); err != nil {
-				return fmt.Errorf("aging: day %d checkpoint: %w", day, err)
-			}
-			if runTr != nil {
-				runTr.Emit(float64(day), "checkpoint",
-					obs.I("day", int64(day)), obs.I("next_op", int64(nextOp)))
+			if err := writeCheckpoint(day, nextOp); err != nil {
+				return err
 			}
 		}
 		return nil
@@ -279,6 +323,9 @@ func replayFrom(fsys *ffs.FileSystem, wl *trace.Workload, opts Options, dirs []*
 
 	st := newStepper(fsys, dirs, byID)
 	for i := startOp; i < len(wl.Ops); i++ {
+		if opts.Ctx != nil && opts.Ctx.Err() != nil {
+			return res, interrupted(i)
+		}
 		op := wl.Ops[i]
 		for day < op.Day {
 			if err := endDay(i); err != nil {
@@ -315,6 +362,9 @@ func replayFrom(fsys *ffs.FileSystem, wl *trace.Workload, opts Options, dirs []*
 	// resume whose checkpoint already covered the final day records
 	// nothing more.
 	for ; day < wl.Days; day++ {
+		if opts.Ctx != nil && opts.Ctx.Err() != nil {
+			return res, interrupted(len(wl.Ops))
+		}
 		if err := endDay(len(wl.Ops)); err != nil {
 			return res, err
 		}

@@ -36,6 +36,11 @@ func DefaultDetrandConfig() DetrandConfig {
 			"ffsage/internal/experiments",
 			"ffsage/internal/bench",
 			"ffsage/internal/obs",
+			// The queue's WAL replay must be deterministic for the
+			// daemon's crash-equivalence guarantee; internal/jobs is
+			// deliberately absent (backoff sleeps and poll tickers
+			// legitimately read the wall clock).
+			"ffsage/internal/queue",
 			// perfbench is covered WITHOUT a TimeOK entry: its
 			// wall-clock reads are confined to the measurement core
 			// (clock.go), each behind a justified //lint:ignore, so a

@@ -82,52 +82,99 @@ type Plan struct {
 	ios    int64 // drive requests seen so far
 }
 
+// SpecError pinpoints the malformed event inside a fault-plan spec:
+// which comma-separated event failed to parse (1-based Event, byte
+// Offset into the original spec string), what was wrong, and what valid
+// input looks like. It renders a caret diagram so a typo in the middle
+// of a long multi-event spec is located at a glance.
+type SpecError struct {
+	Spec   string // the full spec as given
+	Text   string // the offending event, whitespace-trimmed
+	Event  int    // 1-based position among the comma-separated events
+	Offset int    // byte offset of Text within Spec
+	Msg    string // what is wrong, with a hint toward valid input
+}
+
+func (e *SpecError) Error() string {
+	return fmt.Sprintf("faults: event %d at offset %d: %q: %s\n\t%s\n\t%s^",
+		e.Event, e.Offset, e.Text, e.Msg, e.Spec, strings.Repeat(" ", e.Offset))
+}
+
+// validEvents is the hint appended to unknown-event diagnostics.
+const validEvents = "valid events: ioerr@alloc:N, diskerr@io:N, crash@op:N, crash@day:D, tear@op:N, tear@day:D"
+
 // Parse builds a plan from a spec string; see the package comment for
-// the grammar. An empty spec yields an empty plan.
+// the grammar. An empty spec yields an empty plan; a malformed one
+// yields a *SpecError locating the offending event.
 func Parse(spec string) (*Plan, error) {
 	p := &Plan{spec: spec}
-	spec = strings.TrimSpace(spec)
-	if spec == "" {
+	if strings.TrimSpace(spec) == "" {
 		return p, nil
 	}
-	for _, part := range strings.Split(spec, ",") {
-		part = strings.TrimSpace(part)
-		kind, point, ok := strings.Cut(part, "@")
-		if !ok {
-			return nil, fmt.Errorf("faults: event %q: want kind@point", part)
+	pos := 0
+	for idx := 0; ; idx++ {
+		rest := spec[pos:]
+		raw, _, more := strings.Cut(rest, ",")
+		part := strings.TrimSpace(raw)
+		off := pos + strings.Index(raw, part) // where the trimmed event starts
+		fail := func(format string, args ...any) error {
+			return &SpecError{Spec: spec, Text: part, Event: idx + 1, Offset: off,
+				Msg: fmt.Sprintf(format, args...)}
 		}
-		where, num, ok := strings.Cut(point, ":")
-		if !ok {
-			return nil, fmt.Errorf("faults: event %q: want kind@where:N", part)
-		}
-		n, err := strconv.ParseInt(num, 10, 64)
-		if err != nil || n < 0 {
-			return nil, fmt.Errorf("faults: event %q: bad count %q", part, num)
-		}
-		ev := event{n: n}
-		switch {
-		case kind == "ioerr" && where == "alloc":
-			if n < 1 {
-				return nil, fmt.Errorf("faults: event %q: allocations are 1-based", part)
-			}
-			ev.kind = evAllocErr
-		case kind == "diskerr" && where == "io":
-			if n < 1 {
-				return nil, fmt.Errorf("faults: event %q: I/Os are 1-based", part)
-			}
-			ev.kind = evDiskErr
-		case (kind == "crash" || kind == "tear") && where == "op":
-			ev.kind = evCrashOp
-			ev.torn = kind == "tear"
-		case (kind == "crash" || kind == "tear") && where == "day":
-			ev.kind = evCrashDay
-			ev.torn = kind == "tear"
-		default:
-			return nil, fmt.Errorf("faults: event %q: unknown kind/point %q@%q", part, kind, where)
+		ev, err := parseEvent(part, fail)
+		if err != nil {
+			return nil, err
 		}
 		p.events = append(p.events, ev)
+		if !more {
+			return p, nil
+		}
+		pos += len(raw) + 1
 	}
-	return p, nil
+}
+
+// parseEvent parses one kind@where:N event; fail builds the located
+// *SpecError for this event.
+func parseEvent(part string, fail func(string, ...any) error) (event, error) {
+	if part == "" {
+		return event{}, fail("empty event (stray comma?); %s", validEvents)
+	}
+	kind, point, ok := strings.Cut(part, "@")
+	if !ok {
+		return event{}, fail("missing %q: want kind@where:N, e.g. crash@op:120", "@")
+	}
+	where, num, ok := strings.Cut(point, ":")
+	if !ok {
+		return event{}, fail("missing %q after %q: want kind@where:N, e.g. %s@%s:5", ":", where, kind, where)
+	}
+	n, err := strconv.ParseInt(num, 10, 64)
+	if err != nil || n < 0 {
+		return event{}, fail("count %q is not a non-negative integer", num)
+	}
+	ev := event{n: n}
+	switch {
+	case kind == "ioerr" && where == "alloc":
+		if n < 1 {
+			return event{}, fail("allocations are numbered from 1; ioerr@alloc:1 fails the first allocation")
+		}
+		ev.kind = evAllocErr
+	case kind == "diskerr" && where == "io":
+		if n < 1 {
+			return event{}, fail("drive requests are numbered from 1; diskerr@io:1 fails the first request")
+		}
+		ev.kind = evDiskErr
+	case (kind == "crash" || kind == "tear") && where == "op":
+		ev.kind = evCrashOp
+		ev.torn = kind == "tear"
+	case (kind == "crash" || kind == "tear") && where == "day":
+		ev.kind = evCrashDay
+		ev.torn = kind == "tear"
+	case kind != "ioerr" && kind != "diskerr" && kind != "crash" && kind != "tear":
+		return event{}, fail("unknown event kind %q; %s", kind, validEvents)
+	default:
+		return event{}, fail("%s does not take point %q; %s", kind, where, validEvents)
+	}
+	return ev, nil
 }
 
 // MustParse is Parse for specs known good at compile time; it panics on

@@ -3,6 +3,7 @@ package faults
 import (
 	"errors"
 	"reflect"
+	"strings"
 	"testing"
 )
 
@@ -20,6 +21,53 @@ func TestParseRejectsMalformedSpecs(t *testing.T) {
 	} {
 		if _, err := Parse(spec); err == nil {
 			t.Errorf("Parse(%q) accepted a malformed spec", spec)
+		}
+	}
+}
+
+// TestParseErrorMessages pins the parser's position-annotated
+// diagnostics: every malformed spec must name the offending event, its
+// 1-based index and byte offset, and say what valid input looks like.
+func TestParseErrorMessages(t *testing.T) {
+	for _, tc := range []struct {
+		spec         string
+		event        int
+		offset       int
+		text         string
+		wantContains string
+	}{
+		{"ioerr", 1, 0, "ioerr", `missing "@": want kind@where:N, e.g. crash@op:120`},
+		{"ioerr@alloc", 1, 0, "ioerr@alloc", `missing ":" after "alloc": want kind@where:N, e.g. ioerr@alloc:5`},
+		{"ioerr@alloc:x", 1, 0, "ioerr@alloc:x", `count "x" is not a non-negative integer`},
+		{"ioerr@alloc:-1", 1, 0, "ioerr@alloc:-1", `count "-1" is not a non-negative integer`},
+		{"ioerr@alloc:0", 1, 0, "ioerr@alloc:0", "allocations are numbered from 1"},
+		{"diskerr@io:0", 1, 0, "diskerr@io:0", "drive requests are numbered from 1"},
+		{"boom@op:3", 1, 0, "boom@op:3", `unknown event kind "boom"; valid events: ioerr@alloc:N`},
+		{"crash@alloc:3", 1, 0, "crash@alloc:3", `crash does not take point "alloc"`},
+		{"crash@op:1,zzz@io", 2, 11, "zzz@io", `missing ":" after "io"`},
+		{"crash@op:1, tear@dy:4", 2, 12, "tear@dy:4", `tear does not take point "dy"`},
+		{"crash@op:1,,crash@op:2", 2, 11, "", "empty event (stray comma?)"},
+	} {
+		_, err := Parse(tc.spec)
+		if err == nil {
+			t.Errorf("Parse(%q) accepted a malformed spec", tc.spec)
+			continue
+		}
+		var se *SpecError
+		if !errors.As(err, &se) {
+			t.Errorf("Parse(%q) error %T is not a *SpecError", tc.spec, err)
+			continue
+		}
+		if se.Event != tc.event || se.Offset != tc.offset || se.Text != tc.text {
+			t.Errorf("Parse(%q): event %d offset %d text %q, want %d/%d/%q",
+				tc.spec, se.Event, se.Offset, se.Text, tc.event, tc.offset, tc.text)
+		}
+		if !strings.Contains(err.Error(), tc.wantContains) {
+			t.Errorf("Parse(%q) = %q, want substring %q", tc.spec, err, tc.wantContains)
+		}
+		// The caret diagram points at the offending event.
+		if !strings.Contains(err.Error(), "\n\t"+tc.spec+"\n") {
+			t.Errorf("Parse(%q) diagnostic lacks the spec line:\n%s", tc.spec, err)
 		}
 	}
 }

@@ -1,0 +1,226 @@
+package jobs
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"ffsage/internal/obs"
+	"ffsage/internal/queue"
+)
+
+// maxSpecBody bounds a POST /jobs body; specs are a handful of scalars.
+const maxSpecBody = 64 << 10
+
+// followPollInterval paces follow-mode event streaming.
+const followPollInterval = 50 * time.Millisecond
+
+// Handler returns the daemon's HTTP API:
+//
+//	POST /jobs              submit a Spec; 201 {"id","state"} on accept,
+//	                        400 invalid spec, 409 duplicate id,
+//	                        429 + Retry-After when load shedding
+//	GET  /jobs              list all jobs and the queue depth
+//	GET  /jobs/{id}         one job's state, attempt count, and cause
+//	GET  /jobs/{id}/events  JSONL event stream; ?follow=1 streams per-day
+//	                        progress live until the job resolves
+//	GET  /jobs/{id}/result  the result.json of a Done job; 404 with the
+//	                        current state otherwise, 410 for dead jobs
+func (m *Manager) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", m.handleSubmit)
+	mux.HandleFunc("GET /jobs", m.handleList)
+	mux.HandleFunc("GET /jobs/{id}", m.handleGet)
+	mux.HandleFunc("GET /jobs/{id}/events", m.handleEvents)
+	mux.HandleFunc("GET /jobs/{id}/result", m.handleResult)
+	return mux
+}
+
+// jobStatus is the wire form of one job's queue record.
+type jobStatus struct {
+	ID      string          `json:"id"`
+	State   string          `json:"state"`
+	Attempt int             `json:"attempt"`
+	Cause   string          `json:"cause,omitempty"`
+	Spec    json.RawMessage `json:"spec,omitempty"`
+}
+
+func statusOf(rec queue.Record) jobStatus {
+	return jobStatus{
+		ID:      rec.ID,
+		State:   rec.State.String(),
+		Attempt: rec.Attempt,
+		Cause:   rec.Cause,
+		Spec:    json.RawMessage(rec.Spec),
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	// The connection is the only place this error could go.
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (m *Manager) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var sp Spec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSpecBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&sp); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding spec: %v", err)
+		return
+	}
+	id, err := m.Submit(&sp)
+	switch {
+	case errors.Is(err, ErrBusy):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "%v", err)
+	case errors.Is(err, queue.ErrExists):
+		writeError(w, http.StatusConflict, "%v", err)
+	case err != nil:
+		writeError(w, http.StatusBadRequest, "%v", err)
+	default:
+		writeJSON(w, http.StatusCreated, map[string]string{"id": id, "state": "pending"})
+	}
+}
+
+func (m *Manager) handleList(w http.ResponseWriter, r *http.Request) {
+	recs := m.q.List()
+	out := struct {
+		Depth int         `json:"depth"`
+		Jobs  []jobStatus `json:"jobs"`
+	}{Depth: m.q.Depth(), Jobs: make([]jobStatus, 0, len(recs))}
+	for _, rec := range recs {
+		out.Jobs = append(out.Jobs, statusOf(rec))
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (m *Manager) handleGet(w http.ResponseWriter, r *http.Request) {
+	rec, ok := m.q.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	writeJSON(w, http.StatusOK, statusOf(rec))
+}
+
+func (m *Manager) handleResult(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	rec, ok := m.q.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	switch rec.State {
+	case queue.Done:
+		data, err := os.ReadFile(m.jobDir(id) + "/result.json")
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "result missing: %v", err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(data)
+	case queue.Dead:
+		writeJSON(w, http.StatusGone, statusOf(rec))
+	default:
+		writeJSON(w, http.StatusNotFound, statusOf(rec))
+	}
+}
+
+// liveStreams are the event streams a running job emits: one "day"
+// event per completed simulated day on progress, and checkpoint /
+// fault / crash / interrupted incidents on run.
+var liveStreams = [...]string{"job.progress", "job.run"}
+
+func (m *Manager) handleEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	rec, ok := m.q.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	follow := r.URL.Query().Get("follow") == "1"
+	w.Header().Set("Content-Type", "application/x-ndjson")
+
+	// Following an unresolved job streams it live; a resolved one
+	// falls through to its persisted artifact.
+	if follow && (rec.State == queue.Pending || rec.State == queue.Running) {
+		m.followEvents(w, r, id)
+		return
+	}
+	if reg := m.liveRegistry(id); reg != nil {
+		// One-shot snapshot of everything buffered so far. The write
+		// error has nowhere to go but the connection itself.
+		_ = reg.WriteEvents(w)
+		return
+	}
+	// Not running: serve the persisted artifact (empty for jobs that
+	// never produced one — pending or dead).
+	data, err := os.ReadFile(m.jobDir(id) + "/events.jsonl")
+	if err != nil && !errors.Is(err, os.ErrNotExist) {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	w.Write(data)
+}
+
+// followEvents streams a job's events incrementally: every new event
+// on the live streams is written (and flushed) as it appears, until
+// the job resolves, the client goes away, or the daemon shuts down.
+// The job may not have started yet — a worker registers its live
+// registry only once the replay is set up — so the loop waits through
+// pending/starting phases and rebinds if a retry brings a fresh
+// registry (whose sequence numbers restart).
+func (m *Manager) followEvents(w http.ResponseWriter, r *http.Request, id string) {
+	flusher, _ := w.(http.Flusher)
+	var reg *obs.Registry
+	lastSeq := map[string]int64{}
+	emitNew := func() {
+		if reg == nil {
+			return
+		}
+		for _, stream := range liveStreams {
+			for _, ev := range reg.Tracer(stream).Events() {
+				if ev.Seq < lastSeq[stream] {
+					continue
+				}
+				lastSeq[stream] = ev.Seq + 1
+				_ = obs.AppendEventJSON(w, stream, ev)
+			}
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	t := time.NewTicker(followPollInterval)
+	defer t.Stop()
+	for {
+		if cur := m.liveRegistry(id); cur != nil && cur != reg {
+			reg = cur
+			clear(lastSeq)
+		}
+		emitNew()
+		rec, ok := m.q.Get(id)
+		if !ok || (rec.State != queue.Running && rec.State != queue.Pending) {
+			emitNew() // trailing events emitted after the state change
+			return
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-m.ctx.Done():
+			return
+		case <-t.C:
+		}
+	}
+}

@@ -1,0 +1,238 @@
+package jobs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"ffsage/internal/queue"
+)
+
+// newTestServer starts a Manager on a memory queue behind httptest.
+func newTestServer(t *testing.T, opts Options) (*Manager, *httptest.Server) {
+	t.Helper()
+	if opts.Queue == nil {
+		opts.Queue = queue.NewMemory()
+	}
+	m, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(m.Handler())
+	t.Cleanup(func() {
+		srv.Close()
+		m.Close()
+	})
+	return m, srv
+}
+
+func postJSON(t *testing.T, url, body string) *http.Response {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func readBody(t *testing.T, resp *http.Response) string {
+	t.Helper()
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+func TestAPISubmitAndResult(t *testing.T) {
+	m, srv := newTestServer(t, fastOpts(t.TempDir()))
+
+	resp := postJSON(t, srv.URL+"/jobs", `{"id":"api1","days":4,"seed":42}`)
+	body := readBody(t, resp)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("submit: %d %s", resp.StatusCode, body)
+	}
+	var created struct{ ID, State string }
+	if err := json.Unmarshal([]byte(body), &created); err != nil {
+		t.Fatal(err)
+	}
+	if created.ID != "api1" || created.State != "pending" {
+		t.Fatalf("created %+v", created)
+	}
+
+	waitState(t, m.Queue(), "api1", queue.Done)
+
+	resp, err := http.Get(srv.URL + "/jobs/api1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body = readBody(t, resp)
+	if resp.StatusCode != http.StatusOK || !strings.Contains(body, `"state": "done"`) {
+		t.Fatalf("status: %d %s", resp.StatusCode, body)
+	}
+
+	resp, err = http.Get(srv.URL + "/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body = readBody(t, resp)
+	if resp.StatusCode != http.StatusOK || !strings.Contains(body, `"api1"`) {
+		t.Fatalf("list: %d %s", resp.StatusCode, body)
+	}
+
+	resp, err = http.Get(srv.URL + "/jobs/api1/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body = readBody(t, resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("result: %d %s", resp.StatusCode, body)
+	}
+	var res Result
+	if err := json.Unmarshal([]byte(body), &res); err != nil {
+		t.Fatalf("result body: %v\n%s", err, body)
+	}
+	if res.ID != "api1" || res.Days != 4 {
+		t.Fatalf("result %+v", res)
+	}
+
+	resp, err = http.Get(srv.URL + "/jobs/api1/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body = readBody(t, resp)
+	if resp.StatusCode != http.StatusOK || !strings.Contains(body, `"stream":"job.days"`) {
+		t.Fatalf("events: %d %s", resp.StatusCode, body)
+	}
+}
+
+func TestAPISubmitRejections(t *testing.T) {
+	_, srv := newTestServer(t, fastOpts(t.TempDir()))
+
+	for _, tc := range []struct {
+		name, body string
+		wantErr    string
+	}{
+		{"malformed json", `{not json`, "decoding spec"},
+		{"unknown field", `{"days":4,"seed":1,"bogus":true}`, "decoding spec"},
+		{"bad bounds", `{"days":-1,"seed":1}`, "days"},
+		{"bad fault plan", `{"days":4,"seed":1,"faults":"crash@op:nope"}`, "crash@op:nope"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			resp := postJSON(t, srv.URL+"/jobs", tc.body)
+			body := readBody(t, resp)
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("%d %s", resp.StatusCode, body)
+			}
+			if !strings.Contains(body, tc.wantErr) {
+				t.Fatalf("error %s does not mention %q", body, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestAPIDuplicateAndShedding(t *testing.T) {
+	opts := fastOpts(t.TempDir())
+	opts.MaxPending = 1
+	m, srv := newTestServer(t, opts)
+
+	// Occupy the only worker — for the whole test, so the job is far
+	// longer than it needs: Close interrupts it anyway.
+	resp := postJSON(t, srv.URL+"/jobs", `{"id":"busy","days":365,"seed":7}`)
+	readBody(t, resp)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("submit: %d", resp.StatusCode)
+	}
+	waitState(t, m.Queue(), "busy", queue.Running)
+
+	// Shedding is checked before duplicates, so probe the conflict
+	// while the pending slot is still free.
+	resp = postJSON(t, srv.URL+"/jobs", `{"id":"busy","days":30,"seed":7}`)
+	body := readBody(t, resp)
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("duplicate id: %d %s", resp.StatusCode, body)
+	}
+
+	resp = postJSON(t, srv.URL+"/jobs", `{"id":"waiting","days":4,"seed":7}`)
+	readBody(t, resp)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("second submit: %d", resp.StatusCode)
+	}
+
+	resp = postJSON(t, srv.URL+"/jobs", `{"id":"shed","days":4,"seed":7}`)
+	body = readBody(t, resp)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over the bound: %d %s", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 without Retry-After")
+	}
+}
+
+func TestAPIResultForUnresolvedJobs(t *testing.T) {
+	opts := fastOpts(t.TempDir())
+	m, srv := newTestServer(t, opts)
+
+	resp, err := http.Get(srv.URL + "/jobs/ghost/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body := readBody(t, resp); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown job: %d %s", resp.StatusCode, body)
+	}
+
+	// A job that times out every attempt dead-letters; its result is Gone.
+	resp = postJSON(t, srv.URL+"/jobs", `{"id":"doomed","days":400,"seed":7,"timeout_sec":0.001,"max_attempts":1}`)
+	readBody(t, resp)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("submit: %d", resp.StatusCode)
+	}
+	waitState(t, m.Queue(), "doomed", queue.Dead)
+	resp, err = http.Get(srv.URL + "/jobs/doomed/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := readBody(t, resp)
+	if resp.StatusCode != http.StatusGone {
+		t.Fatalf("dead job result: %d %s", resp.StatusCode, body)
+	}
+	if !strings.Contains(body, CauseTimeout) {
+		t.Fatalf("410 body does not carry the typed cause: %s", body)
+	}
+}
+
+// TestAPIEventsFollowStreamsLive attaches a follow-mode client to a
+// running job and requires at least one per-day progress event to
+// arrive before the job resolves, then the stream to terminate cleanly.
+func TestAPIEventsFollowStreamsLive(t *testing.T) {
+	m, srv := newTestServer(t, fastOpts(t.TempDir()))
+
+	resp := postJSON(t, srv.URL+"/jobs", `{"id":"live","days":60,"seed":7}`)
+	readBody(t, resp)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("submit: %d", resp.StatusCode)
+	}
+	waitState(t, m.Queue(), "live", queue.Running)
+
+	client := &http.Client{Timeout: 120 * time.Second}
+	resp, err := client.Get(srv.URL + "/jobs/live/events?follow=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := readBody(t, resp) // blocks until the job resolves
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("follow: %d %s", resp.StatusCode, body)
+	}
+	if !strings.Contains(body, `"stream":"job.progress"`) {
+		t.Fatalf("follow stream carried no progress events:\n%.400s", body)
+	}
+	rec, _ := m.Queue().Get("live")
+	if rec.State != queue.Done {
+		t.Fatalf("job finished %v after the stream closed", rec.State)
+	}
+}

@@ -1,0 +1,43 @@
+package jobs
+
+import (
+	"hash/fnv"
+	"math/rand"
+	"time"
+)
+
+// Backoff returns the delay before job id's next delivery after its
+// attempt-th failed one: exponential in the attempt (base·2^(attempt-1)
+// capped at max) with jitter drawn from a generator seeded on the job
+// ID and attempt. The jitter decorrelates a herd of jobs failing
+// together without sacrificing reproducibility — the same job retries
+// on the same schedule in every run of a test, which is what lets the
+// retry tests assert timing-adjacent behavior without flaking.
+func Backoff(id string, attempt int, base, max time.Duration) time.Duration {
+	if base <= 0 {
+		base = 50 * time.Millisecond
+	}
+	if max <= 0 {
+		max = 2 * time.Second
+	}
+	if max < base {
+		max = base
+	}
+	d := base
+	for i := 1; i < attempt && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	// Seed on (id, attempt) so the sequence of delays for one job is
+	// fixed but differs between jobs.
+	h := fnv.New64a()
+	h.Write([]byte(id))
+	seed := int64(h.Sum64() ^ uint64(attempt)*0x9e3779b97f4a7c15)
+	rng := rand.New(rand.NewSource(seed))
+	// Equal-jitter: [d/2, d]. Keeps a floor (retries are never
+	// immediate) while spreading the herd across half the window.
+	half := d / 2
+	return half + time.Duration(rng.Int63n(int64(half)+1))
+}

@@ -1,0 +1,170 @@
+package jobs
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ffsage/internal/faults"
+	"ffsage/internal/queue"
+)
+
+// TestKillRestartDifferential is the daemon's crash-safety acceptance
+// test: a job carrying a fault plan dies mid-run at 100 seeded kill
+// points (operation-indexed crashes, some with torn final writes, plus
+// day-boundary crashes). At the instant of death the worker has touched
+// nothing durable — the job is still Running in the WAL and its latest
+// checkpoint sits on disk — so handing the state directory to a fresh
+// Manager is exactly a process restart after SIGKILL. The restarted
+// Manager must resume the job exactly once (no redelivery, no lost
+// acknowledgment) and produce all four artifacts byte-identical to an
+// uninterrupted run's.
+func TestKillRestartDifferential(t *testing.T) {
+	const (
+		seed    = 1996
+		days    = 8
+		nPoints = 100
+	)
+	base := testSpec("victim", days)
+	base.Seed = seed
+	base.CheckpointDays = 2
+
+	// Reference artifacts: the same job, uninterrupted, through the
+	// same daemon pipeline.
+	refDir := t.TempDir()
+	mr, err := Open(fastOpts(refDir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mr.Submit(base); err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, mr.Queue(), base.ID, queue.Done)
+	ref := readArtifacts(t, refDir, base.ID)
+	if err := mr.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	wl, err := base.buildWorkload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	points := faults.CrashPoints(seed, nPoints, len(wl.Ops))
+	if len(points) < nPoints {
+		t.Fatalf("only %d crash points available over %d ops", len(points), len(wl.Ops))
+	}
+	if testing.Short() {
+		points = points[:10]
+	}
+
+	for i, opIdx := range points {
+		// Rotate through the crash shapes: plain op crash, torn-write
+		// crash, and day-boundary crash.
+		spec := fmt.Sprintf("crash@op:%d", opIdx)
+		switch i % 4 {
+		case 1:
+			spec = fmt.Sprintf("tear@op:%d", opIdx)
+		case 3:
+			// Days are 0-based and the crash fires at the first operation
+			// whose day is >= D, so D must stay below the last day.
+			spec = fmt.Sprintf("crash@day:%d", 1+opIdx%(days-1))
+		}
+		t.Run(spec, func(t *testing.T) {
+			t.Parallel()
+			dir := t.TempDir()
+			sp := *base
+			sp.Faults = spec
+
+			crashed := make(chan *faults.Crash, 1)
+			opts1 := fastOpts(dir)
+			opts1.OnCrash = func(id string, c *faults.Crash) { crashed <- c }
+			m1, err := Open(opts1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := m1.Submit(&sp); err != nil {
+				t.Fatal(err)
+			}
+			select {
+			case <-crashed:
+			case <-time.After(120 * time.Second):
+				t.Fatal("fault plan never crashed the job")
+			}
+			// The dying process leaves: job Running in the WAL, latest
+			// checkpoint (if any) on disk, no artifacts, no ack.
+			if err := m1.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if rec, ok := queueState(t, dir, sp.ID); !ok || rec.State != queue.Running {
+				t.Fatalf("after the kill the job is %+v, want Running", rec)
+			}
+
+			// Restart over the same state directory.
+			m2, err := Open(fastOpts(dir))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer m2.Close()
+			rec := waitState(t, m2.Queue(), sp.ID, queue.Done)
+			if rec.Attempt != 1 {
+				t.Fatalf("job recorded %d deliveries, want exactly 1 (no requeue after kill)", rec.Attempt)
+			}
+			got := readArtifacts(t, dir, sp.ID)
+			for _, name := range artifactNames {
+				if string(got[name]) != string(ref[name]) {
+					t.Errorf("%s differs from the uninterrupted run (%d vs %d bytes)",
+						name, len(got[name]), len(ref[name]))
+				}
+			}
+		})
+	}
+}
+
+// queueState reopens the WAL read-only-style to inspect a closed
+// manager's durable queue state, then releases it again.
+func queueState(t *testing.T, dir, id string) (queue.Record, bool) {
+	t.Helper()
+	q, err := queue.Open(dir + "/queue.wal")
+	if err != nil {
+		t.Fatalf("inspecting queue: %v", err)
+	}
+	defer q.Close()
+	return q.Get(id)
+}
+
+// TestDoneJobsAreNeverRerun: restarting over a directory whose job
+// already completed leaves it untouched — Done records replay from the
+// WAL and the dispatcher has nothing to claim.
+func TestDoneJobsAreNeverRerun(t *testing.T) {
+	dir := t.TempDir()
+	m1, err := Open(fastOpts(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := m1.Submit(testSpec("", 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, m1.Queue(), id, queue.Done)
+	if err := m1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var crashes atomic.Int64
+	opts := fastOpts(dir)
+	opts.OnCrash = func(string, *faults.Crash) { crashes.Add(1) }
+	m2, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Close()
+	time.Sleep(50 * time.Millisecond) // give a buggy dispatcher time to misbehave
+	rec, ok := m2.Queue().Get(id)
+	if !ok || rec.State != queue.Done || rec.Attempt != 1 {
+		t.Fatalf("done job after restart: %+v", rec)
+	}
+	if n := crashes.Load(); n != 0 {
+		t.Fatalf("restart fired %d crashes", n)
+	}
+}

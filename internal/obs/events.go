@@ -161,6 +161,16 @@ func (r *Registry) WriteEvents(w io.Writer) error {
 	return bw.Flush()
 }
 
+// AppendEventJSON writes ev as the same one-line JSONL record
+// WriteEvents emits — the hook incremental consumers (the aging
+// daemon's follow-mode event stream) use to ship events one at a time
+// without snapshotting the whole registry.
+func AppendEventJSON(w io.Writer, stream string, ev Event) error {
+	bw := bufio.NewWriter(w)
+	writeEventJSON(bw, stream, ev)
+	return bw.Flush()
+}
+
 func writeEventJSON(w *bufio.Writer, stream string, ev Event) {
 	fmt.Fprintf(w, `{"stream":%s,"seq":%d,"t":%s,"event":%s`,
 		jsonString(stream), ev.Seq, formatFloat(ev.T), jsonString(ev.Name))

@@ -1,0 +1,129 @@
+package queue
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// TestBackendEquivalence is the property test behind the package's core
+// claim: the Memory and WAL backends implement the same state machine.
+// For many seeded random operation sequences it applies each operation
+// to both backends, requires identical outcomes (success and typed
+// failure alike), and compares the complete visible state after every
+// step. The WAL is additionally closed and reopened at random points
+// mid-sequence — durability must be invisible to the state machine.
+func TestBackendEquivalence(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			t.Parallel()
+			rng := rand.New(rand.NewSource(seed))
+			path := filepath.Join(t.TempDir(), "queue.wal")
+			wal, err := Open(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer func() { wal.Close() }()
+			mem := NewMemory()
+
+			ids := []string{"a", "b", "c", "d", "e", "f"}
+			for step := 0; step < 400; step++ {
+				id := ids[rng.Intn(len(ids))]
+				cause := fmt.Sprintf("cause-%d", rng.Intn(3))
+				var op string
+				var errM, errW error
+				switch rng.Intn(6) {
+				case 0:
+					op = "enqueue " + id
+					spec := []byte(fmt.Sprintf("spec-%s-%d", id, step))
+					errM = mem.Enqueue(id, spec)
+					errW = wal.Enqueue(id, spec)
+				case 1:
+					op = "dequeue"
+					rm, okM, em := mem.Dequeue()
+					rw, okW, ew := wal.Dequeue()
+					errM, errW = em, ew
+					if okM != okW || !sameRecord(rm, rw) {
+						t.Fatalf("step %d %s: memory (%+v, %v) != wal (%+v, %v)", step, op, rm, okM, rw, okW)
+					}
+				case 2:
+					op = "ack " + id
+					errM = mem.Ack(id)
+					errW = wal.Ack(id)
+				case 3:
+					op = "nack " + id
+					errM = mem.Nack(id, cause)
+					errW = wal.Nack(id, cause)
+				case 4:
+					op = "bury " + id
+					errM = mem.Bury(id, cause)
+					errW = wal.Bury(id, cause)
+				case 5:
+					op = "reopen"
+					if err := wal.Close(); err != nil {
+						t.Fatalf("step %d: close: %v", step, err)
+					}
+					wal, err = Open(path)
+					if err != nil {
+						t.Fatalf("step %d: reopen: %v", step, err)
+					}
+					if wal.Recovered.TruncatedTail {
+						t.Fatalf("step %d: clean close reopened torn: %+v", step, wal.Recovered)
+					}
+				}
+				if !sameOutcome(errM, errW) {
+					t.Fatalf("step %d %s: memory err %v, wal err %v", step, op, errM, errW)
+				}
+				requireSameState(t, step, op, mem, wal)
+			}
+		})
+	}
+}
+
+// sameOutcome: both nil, or both wrapping the same sentinel.
+func sameOutcome(a, b error) bool {
+	if (a == nil) != (b == nil) {
+		return false
+	}
+	if a == nil {
+		return true
+	}
+	for _, sentinel := range []error{ErrExists, ErrNotFound, ErrState} {
+		if errors.Is(a, sentinel) != errors.Is(b, sentinel) {
+			return false
+		}
+	}
+	return true
+}
+
+func sameRecord(a, b Record) bool {
+	return a.ID == b.ID && a.State == b.State && a.Attempt == b.Attempt &&
+		a.Cause == b.Cause && string(a.Spec) == string(b.Spec)
+}
+
+// requireSameState compares everything a caller can observe.
+func requireSameState(t *testing.T, step int, op string, a, b Queue) {
+	t.Helper()
+	la, lb := a.List(), b.List()
+	if len(la) != len(lb) {
+		t.Fatalf("step %d %s: %d records vs %d", step, op, len(la), len(lb))
+	}
+	for i := range la {
+		if !sameRecord(la[i], lb[i]) {
+			t.Fatalf("step %d %s: record %d: %+v vs %+v", step, op, i, la[i], lb[i])
+		}
+	}
+	if pa, pb := a.PendingIDs(), b.PendingIDs(); !reflect.DeepEqual(pa, pb) {
+		t.Fatalf("step %d %s: pending %v vs %v", step, op, pa, pb)
+	}
+	if a.Depth() != b.Depth() {
+		t.Fatalf("step %d %s: depth %d vs %d", step, op, a.Depth(), b.Depth())
+	}
+	if ra, rb := a.Running(), b.Running(); len(ra) != len(rb) {
+		t.Fatalf("step %d %s: running %+v vs %+v", step, op, ra, rb)
+	}
+}

@@ -1,0 +1,194 @@
+package queue
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Memory is the in-process queue backend: the reference implementation
+// of the Queue state machine, used directly in tests and embedded by
+// the WAL backend (which logs each transition before applying it here).
+type Memory struct {
+	mu      sync.Mutex
+	recs    map[string]*Record
+	pending []string // FIFO dispatch order
+}
+
+// NewMemory returns an empty in-memory queue.
+func NewMemory() *Memory {
+	return &Memory{recs: map[string]*Record{}}
+}
+
+var _ Queue = (*Memory)(nil)
+
+// Enqueue implements Queue.
+func (m *Memory) Enqueue(id string, spec []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.enqueueLocked(id, spec)
+}
+
+func (m *Memory) enqueueLocked(id string, spec []byte) error {
+	if id == "" {
+		return fmt.Errorf("%w: empty id", ErrState)
+	}
+	if m.recs[id] != nil {
+		return fmt.Errorf("%w: %q", ErrExists, id)
+	}
+	m.recs[id] = &Record{ID: id, Spec: append([]byte(nil), spec...), State: Pending}
+	m.pending = append(m.pending, id)
+	return nil
+}
+
+// peekLocked returns the job Dequeue would hand out next.
+func (m *Memory) peekLocked() (string, bool) {
+	if len(m.pending) == 0 {
+		return "", false
+	}
+	return m.pending[0], true
+}
+
+// peek exposes peekLocked to the WAL backend, which must know the next
+// job's ID before logging the dequeue that claims it.
+func (m *Memory) peek() (string, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.peekLocked()
+}
+
+// restore installs a full record verbatim — how compaction snapshots
+// are replayed. Pending order follows restore call order.
+func (m *Memory) restore(r Record) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if r.ID == "" {
+		return fmt.Errorf("%w: empty id", ErrState)
+	}
+	if m.recs[r.ID] != nil {
+		return fmt.Errorf("%w: %q", ErrExists, r.ID)
+	}
+	c := r.copy()
+	c.Spec = append([]byte(nil), r.Spec...)
+	m.recs[r.ID] = &c
+	if r.State == Pending {
+		m.pending = append(m.pending, r.ID)
+	}
+	return nil
+}
+
+// Dequeue implements Queue.
+func (m *Memory) Dequeue() (Record, bool, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	id, ok := m.peekLocked()
+	if !ok {
+		return Record{}, false, nil
+	}
+	return m.dequeueLocked(id), true, nil
+}
+
+func (m *Memory) dequeueLocked(id string) Record {
+	m.pending = m.pending[1:]
+	r := m.recs[id]
+	r.State = Running
+	r.Attempt++
+	return r.copy()
+}
+
+// transitionLocked validates that id is Running and applies the state
+// change shared by Ack, Nack, and Bury.
+func (m *Memory) transitionLocked(op, id string, to State, cause string) error {
+	r := m.recs[id]
+	if r == nil {
+		return fmt.Errorf("%s %q: %w", op, id, ErrNotFound)
+	}
+	if r.State != Running {
+		return fmt.Errorf("%s %q: %w: job is %s, not running", op, id, ErrState, r.State)
+	}
+	r.State = to
+	r.Cause = cause
+	if to == Pending {
+		m.pending = append(m.pending, id)
+	}
+	return nil
+}
+
+// Ack implements Queue.
+func (m *Memory) Ack(id string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.transitionLocked("ack", id, Done, "")
+}
+
+// Nack implements Queue.
+func (m *Memory) Nack(id, cause string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.transitionLocked("nack", id, Pending, cause)
+}
+
+// Bury implements Queue.
+func (m *Memory) Bury(id, cause string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.transitionLocked("bury", id, Dead, cause)
+}
+
+// Get implements Queue.
+func (m *Memory) Get(id string) (Record, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	r := m.recs[id]
+	if r == nil {
+		return Record{}, false
+	}
+	return r.copy(), true
+}
+
+// List implements Queue.
+func (m *Memory) List() []Record {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Record, 0, len(m.recs))
+	for _, r := range m.recs {
+		out = append(out, r.copy())
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// PendingIDs implements Queue.
+func (m *Memory) PendingIDs() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]string(nil), m.pending...)
+}
+
+// Depth implements Queue.
+func (m *Memory) Depth() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.pending)
+}
+
+// Running implements Queue.
+func (m *Memory) Running() []Record {
+	var out []Record
+	for _, r := range m.List() {
+		if r.State == Running {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Close implements Queue. The in-memory backend has nothing to release.
+func (m *Memory) Close() error { return nil }
+
+// copy returns a detached copy of r (the Spec bytes are shared
+// read-only by convention: nothing in this package mutates them).
+func (r *Record) copy() Record {
+	c := *r
+	return c
+}

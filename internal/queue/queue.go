@@ -1,0 +1,107 @@
+// Package queue is the aging daemon's durable job queue: a small,
+// strict state machine (Pending → Running → Done, with Nack retries
+// back to Pending and Bury into a Dead dead-letter state) behind one
+// interface and two backends. Memory is the in-process reference
+// implementation tests reason about; WAL layers the same semantics over
+// a CRC-checksummed write-ahead log built from internal/trace frames,
+// so every acknowledged transition survives a process kill. The two are
+// property-tested to be behaviorally equivalent (equiv_test.go): any
+// sequence of queue operations produces the same visible state on both,
+// with the WAL additionally surviving close/reopen at every step.
+//
+// The queue deliberately knows nothing about jobs, retries, backoff, or
+// HTTP: it stores opaque spec bytes and owns only ordering and state.
+// Policy (when to Nack versus Bury, how long to wait) lives in
+// internal/jobs.
+package queue
+
+import "errors"
+
+// State is a job's position in the queue lifecycle.
+type State uint8
+
+const (
+	// Pending jobs wait in FIFO order for a Dequeue.
+	Pending State = iota
+	// Running jobs have been handed to a worker and not yet resolved.
+	// After a crash, Running jobs are the resume set.
+	Running
+	// Done jobs completed; their record is kept so a restarted daemon
+	// never runs an acknowledged job twice.
+	Done
+	// Dead jobs exhausted their retries (or failed fatally) and hold
+	// their failure cause for inspection — the dead-letter state.
+	Dead
+)
+
+// String returns the lowercase state name used in APIs and logs.
+func (s State) String() string {
+	switch s {
+	case Pending:
+		return "pending"
+	case Running:
+		return "running"
+	case Done:
+		return "done"
+	case Dead:
+		return "dead"
+	}
+	return "invalid"
+}
+
+// Record is one job's queue entry. Spec is opaque to the queue.
+type Record struct {
+	ID      string
+	Spec    []byte
+	State   State
+	Attempt int    // deliveries so far: incremented on every Dequeue
+	Cause   string // last failure cause; the dead-letter reason once Dead
+}
+
+// Queue operation errors. Backends return them wrapped with context;
+// test with errors.Is.
+var (
+	// ErrExists rejects an Enqueue whose ID is already present.
+	ErrExists = errors.New("queue: job id already exists")
+	// ErrNotFound reports an operation on an unknown job ID.
+	ErrNotFound = errors.New("queue: no such job")
+	// ErrState reports an operation invalid for the job's current state
+	// (e.g. acking a job that was never dequeued).
+	ErrState = errors.New("queue: operation invalid for job state")
+)
+
+// Queue is the durable job queue contract shared by the Memory and WAL
+// backends. All methods are safe for concurrent use. Mutating methods
+// return only after the transition is durable to the backend's degree
+// (for WAL: appended and fsynced), which is what makes an acknowledged
+// job unlosable.
+type Queue interface {
+	// Enqueue adds a new Pending job at the tail.
+	Enqueue(id string, spec []byte) error
+	// Dequeue hands out the oldest Pending job, marking it Running and
+	// counting the delivery attempt; ok is false when none is pending.
+	Dequeue() (rec Record, ok bool, err error)
+	// Ack resolves a Running job as Done.
+	Ack(id string) error
+	// Nack returns a Running job to the Pending tail for another
+	// attempt, recording why this one failed.
+	Nack(id, cause string) error
+	// Bury moves a Running job to the Dead dead-letter state with its
+	// terminal failure cause.
+	Bury(id, cause string) error
+	// Get returns a copy of the job's record.
+	Get(id string) (Record, bool)
+	// List returns copies of every record, sorted by ID.
+	List() []Record
+	// PendingIDs returns the Pending jobs in dispatch (FIFO) order.
+	PendingIDs() []string
+	// Depth returns the number of Pending jobs — the load-shedding
+	// signal.
+	Depth() int
+	// Running returns the in-flight jobs sorted by ID — the set a
+	// restarted daemon must resume.
+	Running() []Record
+	// Close releases backend resources. The queue must not be used
+	// afterwards.
+	Close() error
+}

@@ -115,6 +115,69 @@ func TestCancellationSkipsQueuedJobs(t *testing.T) {
 	}
 }
 
+// TestExternalCancelDrainsPoolPromptly is the daemon-shutdown contract:
+// cancelling the context a Group was built on must (a) interrupt
+// running jobs that honour their context, (b) skip every queued job
+// without running it, and (c) let Wait return promptly — the pool never
+// insists on finishing the whole batch.
+func TestExternalCancelDrainsPoolPromptly(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	const workersN = 2
+	var started, finished atomic.Int64
+	release := make(chan struct{}) // never closed: jobs end only via ctx
+	g := NewWithWorkers(ctx, workersN)
+	for i := 0; i < 10; i++ {
+		g.Go("blocker", func(jctx context.Context) error {
+			started.Add(1)
+			select {
+			case <-jctx.Done():
+				return jctx.Err()
+			case <-release:
+				finished.Add(1)
+				return nil
+			}
+		})
+	}
+	// Wait for the first workersN jobs to occupy the pool, then pull the
+	// plug on the whole group from outside.
+	deadline := time.Now().Add(5 * time.Second)
+	for started.Load() < workersN {
+		if time.Now().After(deadline) {
+			t.Fatal("workers never started")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	cancel()
+
+	done := make(chan struct{})
+	var stats []Stat
+	var err error
+	go func() {
+		stats, err = g.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Wait did not return after cancellation: the pool ran the whole batch")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Wait returned %v, want context.Canceled", err)
+	}
+	if got := started.Load(); got != workersN {
+		t.Errorf("%d jobs started, want exactly the %d in flight at cancel time", got, workersN)
+	}
+	if finished.Load() != 0 {
+		t.Errorf("%d jobs ran to completion after cancel", finished.Load())
+	}
+	for i, st := range stats {
+		if st.Err == nil {
+			t.Errorf("job %d reported success after cancellation", i)
+		}
+	}
+}
+
 func TestSetWorkers(t *testing.T) {
 	defer SetWorkers(0)
 	SetWorkers(2)

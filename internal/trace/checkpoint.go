@@ -3,18 +3,17 @@ package trace
 import (
 	"bufio"
 	"bytes"
-	"encoding/binary"
 	"fmt"
-	"hash/crc32"
 	"hash/fnv"
 	"io"
 	"math"
 )
 
-// Checkpoint format: magic, format version, payload length, payload,
-// CRC-32 (IEEE) of the payload. The length prefix plus trailing
-// checksum means a checkpoint truncated by the very crash it was meant
-// to survive is detected on read rather than resumed from silently.
+// Checkpoint format: one frame (see frame.go) — magic, format version,
+// payload length, payload, CRC-32 (IEEE) of the payload. The length
+// prefix plus trailing checksum means a checkpoint truncated by the
+// very crash it was meant to survive is detected on read rather than
+// resumed from silently.
 //
 // The payload carries the replay cursor and accumulated report series;
 // the file system itself rides along as an opaque image blob
@@ -83,67 +82,21 @@ func WriteCheckpoint(w io.Writer, cp *Checkpoint) error {
 	if err := bw.Flush(); err != nil {
 		return err
 	}
-
-	out := bufio.NewWriter(w)
-	if _, err := out.Write(checkpointMagic[:]); err != nil {
-		return err
-	}
-	ocw := countingWriter{out}
-	if err := ocw.uv(checkpointVersion); err != nil {
-		return err
-	}
-	if err := ocw.uv(uint64(payload.Len())); err != nil {
-		return err
-	}
-	if _, err := out.Write(payload.Bytes()); err != nil {
-		return err
-	}
-	var crc [4]byte
-	binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(payload.Bytes()))
-	if _, err := out.Write(crc[:]); err != nil {
-		return err
-	}
-	return out.Flush()
+	return WriteFrame(w, checkpointMagic, checkpointVersion, payload.Bytes())
 }
 
 // ReadCheckpoint deserializes and verifies a checkpoint. A truncated,
-// corrupted, or future-versioned checkpoint is an error; the caller
-// should fall back to an earlier checkpoint or a fresh run.
+// corrupted, or future-versioned checkpoint yields a *CorruptError
+// (possibly wrapped), never a panic; the caller should fall back to an
+// earlier checkpoint or a fresh run.
 func ReadCheckpoint(r io.Reader) (*Checkpoint, error) {
-	br := bufio.NewReader(r)
-	var magic [4]byte
-	if _, err := io.ReadFull(br, magic[:]); err != nil {
-		return nil, fmt.Errorf("trace: reading checkpoint magic: %w", err)
-	}
-	if magic != checkpointMagic {
-		return nil, fmt.Errorf("trace: bad checkpoint magic %q", magic[:])
-	}
-	rd := reader{br}
-	version, err := rd.uv()
+	const what = "checkpoint"
+	payload, err := ReadFrame(r, checkpointMagic, checkpointVersion, maxCheckpointPayload, what)
 	if err != nil {
-		return nil, fmt.Errorf("trace: checkpoint version: %w", err)
-	}
-	if version != checkpointVersion {
-		return nil, fmt.Errorf("trace: checkpoint version %d not supported (want %d)", version, checkpointVersion)
-	}
-	plen, err := rd.uv()
-	if err != nil {
-		return nil, fmt.Errorf("trace: checkpoint length: %w", err)
-	}
-	if plen > maxCheckpointPayload {
-		return nil, fmt.Errorf("trace: implausible checkpoint payload %d bytes", plen)
-	}
-	payload := make([]byte, plen)
-	if _, err := io.ReadFull(br, payload); err != nil {
-		return nil, fmt.Errorf("trace: checkpoint truncated: %w", err)
-	}
-	var crcBuf [4]byte
-	if _, err := io.ReadFull(br, crcBuf[:]); err != nil {
-		return nil, fmt.Errorf("trace: checkpoint checksum missing: %w", err)
-	}
-	want := binary.LittleEndian.Uint32(crcBuf[:])
-	if got := crc32.ChecksumIEEE(payload); got != want {
-		return nil, fmt.Errorf("trace: checkpoint checksum mismatch (%08x != %08x)", got, want)
+		if err == io.EOF {
+			return nil, corruptWrap(what, "reading magic", io.ErrUnexpectedEOF)
+		}
+		return nil, err
 	}
 
 	prd := reader{bufio.NewReader(bytes.NewReader(payload))}
@@ -151,31 +104,31 @@ func ReadCheckpoint(r io.Reader) (*Checkpoint, error) {
 	var vals [5]int64
 	for i := range vals {
 		if vals[i], err = prd.sv(); err != nil {
-			return nil, fmt.Errorf("trace: checkpoint field %d: %w", i, err)
+			return nil, corruptWrap(what, fmt.Sprintf("field %d", i), eofToUnexpected(err))
 		}
 	}
 	day, nextOp := vals[0], vals[1]
 	cp.SkippedOps, cp.NoSpaceOps, cp.FaultedOps = vals[2], vals[3], vals[4]
 	if day < -1 || day > maxDays || nextOp < 0 || nextOp > math.MaxInt32 {
-		return nil, fmt.Errorf("trace: checkpoint cursor (day %d, op %d) out of range", day, nextOp)
+		return nil, corruptf(what, "cursor (day %d, op %d) out of range", day, nextOp)
 	}
 	cp.Day, cp.NextOp = int(day), int(nextOp)
 	if cp.WorkloadHash, err = prd.uv(); err != nil {
-		return nil, fmt.Errorf("trace: checkpoint workload hash: %w", err)
+		return nil, corruptWrap(what, "workload hash", eofToUnexpected(err))
 	}
 	for i, series := range []*[]float64{&cp.LayoutByDay, &cp.UtilByDay} {
 		n, err := prd.uv()
 		if err != nil {
-			return nil, fmt.Errorf("trace: checkpoint series %d: %w", i, err)
+			return nil, corruptWrap(what, fmt.Sprintf("series %d", i), eofToUnexpected(err))
 		}
 		if n > maxDays+1 {
-			return nil, fmt.Errorf("trace: checkpoint series %d has %d entries", i, n)
+			return nil, corruptf(what, "series %d has %d entries", i, n)
 		}
 		s := make([]float64, 0, n)
 		for j := uint64(0); j < n; j++ {
 			v, err := prd.f64()
 			if err != nil {
-				return nil, fmt.Errorf("trace: checkpoint series %d entry %d: %w", i, j, err)
+				return nil, corruptWrap(what, fmt.Sprintf("series %d entry %d", i, j), eofToUnexpected(err))
 			}
 			s = append(s, v)
 		}
@@ -183,14 +136,14 @@ func ReadCheckpoint(r io.Reader) (*Checkpoint, error) {
 	}
 	ilen, err := prd.uv()
 	if err != nil {
-		return nil, fmt.Errorf("trace: checkpoint image length: %w", err)
+		return nil, corruptWrap(what, "image length", eofToUnexpected(err))
 	}
-	if ilen > plen {
-		return nil, fmt.Errorf("trace: checkpoint image length %d exceeds payload", ilen)
+	if ilen > uint64(len(payload)) {
+		return nil, corruptf(what, "image length %d exceeds payload", ilen)
 	}
 	cp.Image = make([]byte, ilen)
 	if _, err := io.ReadFull(prd.r, cp.Image); err != nil {
-		return nil, fmt.Errorf("trace: checkpoint image truncated: %w", err)
+		return nil, corruptWrap(what, "image truncated", eofToUnexpected(err))
 	}
 	return cp, nil
 }

@@ -1,0 +1,144 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// The frame codec is the durability envelope shared by everything this
+// repository persists for crash recovery: a 4-byte magic, a uvarint
+// format version, a uvarint payload length, the payload, and a CRC-32
+// (IEEE) of the payload. The length prefix plus trailing checksum means
+// a frame truncated by the very crash it was meant to survive — or bit
+// flips acquired at rest — is detected on read rather than trusted
+// silently. Checkpoints (checkpoint.go) are single frames; the aging
+// daemon's write-ahead queue log is a sequence of them.
+
+// CorruptError reports that a persisted artifact failed structural
+// validation: bad magic, unsupported version, truncation, an implausible
+// length, or a checksum mismatch. Decoders in this package never panic
+// on malformed input; every failure surfaces as (or wraps) a
+// *CorruptError so callers can distinguish damaged state from I/O
+// plumbing failures and degrade deliberately — fall back to an earlier
+// checkpoint, truncate a torn log tail, or refuse to resume.
+type CorruptError struct {
+	What string // artifact being decoded, e.g. "checkpoint", "queue WAL record"
+	Msg  string // what failed validation
+	Err  error  // underlying cause, when one exists (io.ErrUnexpectedEOF for truncation)
+}
+
+func (e *CorruptError) Error() string {
+	if e.Err != nil {
+		return fmt.Sprintf("trace: corrupt %s: %s: %v", e.What, e.Msg, e.Err)
+	}
+	return fmt.Sprintf("trace: corrupt %s: %s", e.What, e.Msg)
+}
+
+func (e *CorruptError) Unwrap() error { return e.Err }
+
+// Truncated reports whether the corruption is consistent with the data
+// simply stopping mid-frame — the signature a crash leaves on the tail
+// of an append-only log, as opposed to bit rot in the middle of it.
+func (e *CorruptError) Truncated() bool {
+	return errors.Is(e.Err, io.ErrUnexpectedEOF) || errors.Is(e.Err, io.EOF)
+}
+
+// corruptf builds a *CorruptError with a formatted message.
+func corruptf(what string, format string, args ...any) error {
+	return &CorruptError{What: what, Msg: fmt.Sprintf(format, args...)}
+}
+
+// corruptWrap builds a *CorruptError carrying an underlying cause.
+func corruptWrap(what, msg string, err error) error {
+	return &CorruptError{What: what, Msg: msg, Err: err}
+}
+
+// WriteFrame writes one checksummed frame.
+func WriteFrame(w io.Writer, magic [4]byte, version uint64, payload []byte) error {
+	var hdr bytes.Buffer
+	hdr.Write(magic[:])
+	var buf [binary.MaxVarintLen64]byte
+	hdr.Write(buf[:binary.PutUvarint(buf[:], version)])
+	hdr.Write(buf[:binary.PutUvarint(buf[:], uint64(len(payload)))])
+	if _, err := w.Write(hdr.Bytes()); err != nil {
+		return err
+	}
+	if _, err := w.Write(payload); err != nil {
+		return err
+	}
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(payload))
+	_, err := w.Write(crc[:])
+	return err
+}
+
+// ReadFrame reads and verifies one frame, returning its payload. At a
+// clean end of input (zero bytes before the magic) it returns io.EOF
+// unwrapped, so log readers can distinguish "no more frames" from "a
+// frame was torn"; every other failure is a *CorruptError. what names
+// the artifact in error messages. maxLen bounds how large a payload the
+// reader will buffer, so a corrupted length prefix cannot demand an
+// absurd allocation.
+func ReadFrame(r io.Reader, magic [4]byte, version uint64, maxLen uint64, what string) ([]byte, error) {
+	var m [4]byte
+	if _, err := io.ReadFull(r, m[:]); err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, corruptWrap(what, "reading magic", err)
+	}
+	if m != magic {
+		return nil, corruptf(what, "bad magic %q (want %q)", m[:], magic[:])
+	}
+	br := byteReader{r}
+	v, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, corruptWrap(what, "reading version", eofToUnexpected(err))
+	}
+	if v != version {
+		return nil, corruptf(what, "version %d not supported (want %d)", v, version)
+	}
+	plen, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, corruptWrap(what, "reading length", eofToUnexpected(err))
+	}
+	if plen > maxLen {
+		return nil, corruptf(what, "implausible payload length %d (max %d)", plen, maxLen)
+	}
+	payload := make([]byte, plen)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, corruptWrap(what, "payload truncated", eofToUnexpected(err))
+	}
+	var crcBuf [4]byte
+	if _, err := io.ReadFull(r, crcBuf[:]); err != nil {
+		return nil, corruptWrap(what, "checksum missing", eofToUnexpected(err))
+	}
+	want := binary.LittleEndian.Uint32(crcBuf[:])
+	if got := crc32.ChecksumIEEE(payload); got != want {
+		return nil, corruptf(what, "checksum mismatch (%08x != %08x)", got, want)
+	}
+	return payload, nil
+}
+
+// eofToUnexpected normalizes the bare io.EOF that varint and ReadFull
+// readers return mid-structure: inside a frame any EOF is truncation.
+func eofToUnexpected(err error) error {
+	if err == io.EOF {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}
+
+// byteReader adapts an io.Reader for binary.ReadUvarint without
+// swallowing bytes into a buffer the caller would then miss.
+type byteReader struct{ r io.Reader }
+
+func (b byteReader) ReadByte() (byte, error) {
+	var one [1]byte
+	_, err := io.ReadFull(b.r, one[:])
+	return one[0], err
+}

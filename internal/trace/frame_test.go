@@ -1,0 +1,108 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+var testMagic = [4]byte{'T', 'S', 'T', '1'}
+
+func TestFrameRoundTrip(t *testing.T) {
+	for _, payload := range [][]byte{nil, {}, {0x01}, bytes.Repeat([]byte{0xab, 0x00}, 5000)} {
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, testMagic, 3, payload); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadFrame(bytes.NewReader(buf.Bytes()), testMagic, 3, 1<<20, "test frame")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("payload %d bytes round-tripped to %d bytes", len(payload), len(got))
+		}
+	}
+}
+
+func TestFrameCleanEOFVersusTornTail(t *testing.T) {
+	// Zero bytes at the magic is a clean end-of-log: bare io.EOF.
+	if _, err := ReadFrame(bytes.NewReader(nil), testMagic, 1, 1<<20, "test frame"); err != io.EOF {
+		t.Fatalf("empty input: %v, want io.EOF", err)
+	}
+	// Any bytes followed by a stop is a torn frame: a *CorruptError
+	// that reports Truncated.
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, testMagic, 1, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	for cut := 1; cut < len(b); cut++ {
+		_, err := ReadFrame(bytes.NewReader(b[:cut]), testMagic, 1, 1<<20, "test frame")
+		var ce *CorruptError
+		if !errors.As(err, &ce) {
+			t.Fatalf("truncation at %d: %v, want *CorruptError", cut, err)
+		}
+		if !ce.Truncated() {
+			t.Errorf("truncation at %d not reported as Truncated: %v", cut, err)
+		}
+	}
+}
+
+func TestFrameRejectsWrongMagicVersionAndLength(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, testMagic, 2, []byte("abc")); err != nil {
+		t.Fatal(err)
+	}
+	var ce *CorruptError
+	if _, err := ReadFrame(bytes.NewReader(buf.Bytes()), [4]byte{'N', 'O', 'P', 'E'}, 2, 1<<20, "x"); !errors.As(err, &ce) {
+		t.Fatalf("wrong magic: %v", err)
+	}
+	if _, err := ReadFrame(bytes.NewReader(buf.Bytes()), testMagic, 3, 1<<20, "x"); !errors.As(err, &ce) {
+		t.Fatalf("wrong version: %v", err)
+	}
+	if _, err := ReadFrame(bytes.NewReader(buf.Bytes()), testMagic, 2, 2, "x"); !errors.As(err, &ce) {
+		t.Fatalf("payload over maxLen: %v", err)
+	}
+	if ce.Truncated() {
+		t.Error("over-length payload misreported as truncation")
+	}
+}
+
+// TestCheckpointDecodeNeverPanicsOrLies is the exhaustive single-fault
+// sweep behind the crash-safety story: every prefix truncation and
+// every single-bit flip of a valid checkpoint must be rejected with a
+// typed *CorruptError — never a panic, and never a silent success
+// (CRC-32 detects all single-bit errors; flips in the header fail
+// structural checks first).
+func TestCheckpointDecodeNeverPanicsOrLies(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCheckpoint(&buf, sampleCheckpoint()); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+
+	mustCorrupt := func(label string, data []byte) {
+		t.Helper()
+		cp, err := ReadCheckpoint(bytes.NewReader(data))
+		if err == nil {
+			t.Fatalf("%s: accepted (day %d)", label, cp.Day)
+		}
+		var ce *CorruptError
+		if !errors.As(err, &ce) {
+			t.Fatalf("%s: error %v is not a *CorruptError", label, err)
+		}
+	}
+
+	for cut := 0; cut < len(b); cut++ {
+		mustCorrupt("truncated", b[:cut])
+	}
+	mut := make([]byte, len(b))
+	for pos := 0; pos < len(b); pos++ {
+		for bit := 0; bit < 8; bit++ {
+			copy(mut, b)
+			mut[pos] ^= 1 << bit
+			mustCorrupt("bit-flipped", mut)
+		}
+	}
+}

@@ -2,6 +2,8 @@ package trace
 
 import (
 	"bytes"
+	"errors"
+	"io"
 	"strings"
 	"testing"
 )
@@ -65,7 +67,8 @@ func FuzzReadWorkload(f *testing.F) {
 
 // FuzzReadCheckpoint feeds arbitrary bytes to the checkpoint reader:
 // anything that is not a well-formed, checksummed checkpoint must be
-// rejected without panicking.
+// rejected without panicking, and every rejection must be the typed
+// *CorruptError the recovery paths switch on.
 func FuzzReadCheckpoint(f *testing.F) {
 	var seed bytes.Buffer
 	if err := WriteCheckpoint(&seed, sampleCheckpoint()); err != nil {
@@ -75,6 +78,46 @@ func FuzzReadCheckpoint(f *testing.F) {
 	f.Add([]byte("FFC1"))
 	f.Add([]byte{})
 	f.Fuzz(func(t *testing.T, input []byte) {
-		_, _ = ReadCheckpoint(bytes.NewReader(input))
+		_, err := ReadCheckpoint(bytes.NewReader(input))
+		if err != nil {
+			var ce *CorruptError
+			if !errors.As(err, &ce) {
+				t.Fatalf("rejection %v is not a *CorruptError", err)
+			}
+		}
+	})
+}
+
+// FuzzReadFrame feeds arbitrary bytes to the generic frame reader (the
+// envelope under checkpoints and the aging daemon's queue WAL): it must
+// return the payload, io.EOF on empty input, or a *CorruptError —
+// never panic. When it does accept, re-encoding the payload must
+// reproduce a decodable frame.
+func FuzzReadFrame(f *testing.F) {
+	var seed bytes.Buffer
+	if err := WriteFrame(&seed, [4]byte{'F', 'F', 'Q', '1'}, 1, []byte("record")); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.Bytes())
+	f.Add([]byte("FFQ1"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, input []byte) {
+		magic := [4]byte{'F', 'F', 'Q', '1'}
+		payload, err := ReadFrame(bytes.NewReader(input), magic, 1, 1<<20, "fuzz frame")
+		if err != nil {
+			var ce *CorruptError
+			if err != io.EOF && !errors.As(err, &ce) {
+				t.Fatalf("rejection %v is neither io.EOF nor *CorruptError", err)
+			}
+			return
+		}
+		var again bytes.Buffer
+		if err := WriteFrame(&again, magic, 1, payload); err != nil {
+			t.Fatal(err)
+		}
+		back, err := ReadFrame(bytes.NewReader(again.Bytes()), magic, 1, 1<<20, "fuzz frame")
+		if err != nil || !bytes.Equal(back, payload) {
+			t.Fatalf("accepted payload did not round-trip: %v", err)
+		}
 	})
 }

@@ -1,0 +1,83 @@
+#!/usr/bin/env bash
+# agesrv_smoke.sh — end-to-end crash-safety check for the aging daemon.
+#
+# Runs the same job twice through a real agesrv process: once
+# uninterrupted, once with the daemon SIGKILLed mid-run and restarted
+# over the same state directory. The restarted daemon must replay its
+# queue WAL, resume the job from its latest checkpoint exactly once,
+# and produce artifacts byte-identical to the uninterrupted run.
+#
+# Usage: scripts/agesrv_smoke.sh [path-to-agesrv]
+set -euo pipefail
+
+AGESRV=${1:-bin/agesrv}
+ADDR=127.0.0.1:8399
+URL="http://$ADDR"
+WORK=$(mktemp -d)
+DAEMON_PID=
+cleanup() {
+    [ -n "$DAEMON_PID" ] && kill "$DAEMON_PID" 2>/dev/null || true
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+SPEC='{"id":"smoke","days":60,"seed":1996,"checkpoint_days":5}'
+
+start_daemon() { # $1: state dir
+    "$AGESRV" -addr "$ADDR" -dir "$1" -workers 1 &
+    DAEMON_PID=$!
+    for _ in $(seq 1 100); do
+        curl -sf "$URL/jobs" > /dev/null 2>&1 && return 0
+        sleep 0.1
+    done
+    echo "daemon never came up" >&2
+    exit 1
+}
+
+wait_state() { # $1: job id, $2: state
+    for _ in $(seq 1 600); do
+        state=$(curl -sf "$URL/jobs/$1" | sed -n 's/.*"state": "\([a-z]*\)".*/\1/p')
+        [ "$state" = "$2" ] && return 0
+        if [ "$state" = dead ]; then
+            echo "job $1 dead-lettered:" >&2
+            curl -sf "$URL/jobs/$1" >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+    echo "job $1 never reached $2 (last: ${state:-none})" >&2
+    exit 1
+}
+
+echo "== reference run (uninterrupted)"
+start_daemon "$WORK/ref"
+curl -sf -d "$SPEC" "$URL/jobs" > /dev/null
+wait_state smoke done
+kill -TERM "$DAEMON_PID" && wait "$DAEMON_PID"
+DAEMON_PID=
+
+echo "== interrupted run: SIGKILL after the first checkpoint appears"
+start_daemon "$WORK/kill"
+curl -sf -d "$SPEC" "$URL/jobs" > /dev/null
+for _ in $(seq 1 600); do
+    [ -f "$WORK/kill/jobs/smoke/checkpoint.ffc" ] && break
+    sleep 0.05
+done
+[ -f "$WORK/kill/jobs/smoke/checkpoint.ffc" ] || { echo "no checkpoint appeared" >&2; exit 1; }
+kill -KILL "$DAEMON_PID"
+wait "$DAEMON_PID" 2>/dev/null || true
+DAEMON_PID=
+
+echo "== restart over the same state directory"
+start_daemon "$WORK/kill"
+attempt=$(curl -sf "$URL/jobs/smoke" | sed -n 's/.*"attempt": \([0-9]*\).*/\1/p')
+[ "$attempt" = 1 ] || { echo "restart re-delivered the job (attempt=$attempt)" >&2; exit 1; }
+wait_state smoke done
+kill -TERM "$DAEMON_PID" && wait "$DAEMON_PID"
+DAEMON_PID=
+
+echo "== diff artifacts against the uninterrupted run"
+for f in image.ffi metrics.txt events.jsonl result.json; do
+    cmp "$WORK/ref/jobs/smoke/$f" "$WORK/kill/jobs/smoke/$f"
+done
+echo "OK: resumed run is byte-identical to the uninterrupted run"
