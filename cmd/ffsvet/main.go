@@ -1,7 +1,20 @@
-// Command ffsvet checks the repository's determinism, error-discipline,
-// and panic-freedom invariants (see internal/analysis). Run it
-// standalone over package patterns, or hand it to cmd/go for full
-// coverage including test files:
+// Command ffsvet checks the repository's determinism, durability, and
+// error-discipline invariants (see internal/analysis): the per-package
+// syntactic checkers (detrand, maporder, checkedcorruption, nopanic,
+// dirmap) and the whole-program reachability checkers (fsyncack,
+// atomicwrite, snapshotpure, ctxloop), which query a conservative
+// call graph spanning every analyzed package.
+//
+// Standalone mode builds that graph over all matched packages at once
+// and is the authoritative run; -json emits the findings as a JSON
+// array on stdout:
+//
+//	go run ./cmd/ffsvet ./...
+//	go run ./cmd/ffsvet -json ./...
+//
+// Vettool mode covers test files but sees one compilation unit at a
+// time, so the whole-program checkers run partially (optimistically —
+// they under-report rather than false-positive there):
 //
 //	go build -o bin/ffsvet ./cmd/ffsvet
 //	go vet -vettool=bin/ffsvet ./...

@@ -6,13 +6,19 @@
 // nothing ordered is emitted from a raw map iteration, errors from the
 // mutating ffs API (which may carry *ffs.CorruptionError) are never
 // dropped, and library packages do not panic outside the sanctioned
-// corruption path. The analyzers here enforce those invariants; cmd/
-// ffsvet drives them standalone or as a `go vet -vettool`.
+// corruption path. The durability claims rest on whole-program ones:
+// acknowledged writes reach an fsync, state files are replaced via
+// tmp+rename, checkpoint/snapshot paths never reach wall-clock or
+// global-rand reads, and unbounded drain loops poll cancellation. The
+// analyzers here enforce all of it; cmd/ffsvet drives them standalone
+// (one call graph over every matched package — the authoritative run)
+// or as a `go vet -vettool` (per compilation unit, partial).
 //
 // The framework mirrors the shape of golang.org/x/tools/go/analysis
 // (Analyzer, Pass, Diagnostic) but is self-contained: it depends only
 // on the standard library's go/ast, go/types and go/importer, so the
-// module keeps its zero-dependency footprint.
+// module keeps its zero-dependency footprint. The whole-program half —
+// the call graph, reachability, and Program — lives in callgraph.go.
 //
 // A finding may be suppressed with a staticcheck-style comment on the
 // offending line or the line directly above it:
@@ -32,7 +38,10 @@ import (
 	"strings"
 )
 
-// An Analyzer describes one invariant checker.
+// An Analyzer describes one invariant checker. Exactly one of Run and
+// RunProgram is set: Run sees one type-checked package at a time (the
+// syntactic checkers), RunProgram sees the whole Program and its call
+// graph (the reachability checkers).
 type Analyzer struct {
 	// Name identifies the analyzer in diagnostics and suppression
 	// comments, as "ffsvet/<Name>".
@@ -42,6 +51,8 @@ type Analyzer struct {
 	// Run inspects a type-checked package and reports findings
 	// through the pass.
 	Run func(*Pass)
+	// RunProgram inspects a whole Program (packages + call graph).
+	RunProgram func(*ProgramPass)
 }
 
 // A Pass presents one type-checked package to one analyzer.
@@ -125,33 +136,72 @@ func NewInfo() *types.Info {
 	}
 }
 
-// Run applies analyzers to pkg, filters findings through the package's
-// //lint:ignore comments, and returns the surviving diagnostics sorted
-// by position. Malformed suppression comments are reported as findings
-// of the pseudo-analyzer "suppress".
+// A ProgramPass presents one whole Program to one analyzer.
+type ProgramPass struct {
+	Analyzer *Analyzer
+	Prog     *Program
+
+	diags *[]Diagnostic
+}
+
+// ReportAt records a finding at an already-resolved position — the
+// call graph stores token.Position, not token.Pos, because nodes span
+// packages with distinct FileSets.
+func (p *ProgramPass) ReportAt(pos token.Position, format string, args ...interface{}) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      pos,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Run applies analyzers to the single package pkg. It exists for the
+// per-package callers (fixtures, the vettool path builds its own
+// Program); whole-program analyzers see a one-package Program.
 func Run(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	return RunProgram(NewProgram([]*Package{pkg}), analyzers)
+}
+
+// RunProgram applies analyzers to prog, filters findings through every
+// package's //lint:ignore comments, and returns the surviving
+// diagnostics sorted by position. Malformed suppression comments are
+// reported as findings of the pseudo-analyzer "suppress".
+func RunProgram(prog *Program, analyzers []*Analyzer) []Diagnostic {
 	var raw []Diagnostic
 	for _, a := range analyzers {
-		pass := &Pass{
-			Analyzer:  a,
-			Fset:      pkg.Fset,
-			Files:     pkg.Files,
-			Pkg:       pkg.Types,
-			TypesInfo: pkg.Info,
-			diags:     &raw,
+		if a.Run != nil {
+			for _, pkg := range prog.Pkgs {
+				pass := &Pass{
+					Analyzer:  a,
+					Fset:      pkg.Fset,
+					Files:     pkg.Files,
+					Pkg:       pkg.Types,
+					TypesInfo: pkg.Info,
+					diags:     &raw,
+				}
+				a.Run(pass)
+			}
 		}
-		a.Run(pass)
+		if a.RunProgram != nil {
+			a.RunProgram(&ProgramPass{Analyzer: a, Prog: prog, diags: &raw})
+		}
 	}
 
-	sup, malformed := collectSuppressions(pkg.Fset, pkg.Files)
 	var out []Diagnostic
+	sup := suppressionSet{}
+	for _, pkg := range prog.Pkgs {
+		pkgSup, malformed := collectSuppressions(pkg.Fset, pkg.Files)
+		for file, lines := range pkgSup {
+			sup[file] = lines
+		}
+		out = append(out, malformed...)
+	}
 	for _, d := range raw {
 		if sup.covers(d) {
 			continue
 		}
 		out = append(out, d)
 	}
-	out = append(out, malformed...)
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i].Pos, out[j].Pos
 		if a.Filename != b.Filename {

@@ -45,6 +45,34 @@ func TestNopanicFixtures(t *testing.T) {
 	}
 }
 
+func TestFsyncackFixtures(t *testing.T) {
+	// fsyncack/queue mirrors an ack-bearing package; fsyncack/other
+	// holds the same unsynced shapes outside the config and must stay
+	// silent.
+	a := Fsyncack(FsyncackConfig{Packages: []string{"fsyncack/queue"}})
+	for _, path := range []string{"fsyncack/queue", "fsyncack/other"} {
+		t.Run(path, func(t *testing.T) { runFixture(t, a, path) })
+	}
+}
+
+func TestAtomicwriteFixtures(t *testing.T) {
+	a := Atomicwrite(AtomicwriteConfig{Packages: []string{"atomicwrite/state"}})
+	runFixture(t, a, "atomicwrite/state")
+}
+
+func TestSnapshotpureFixtures(t *testing.T) {
+	a := Snapshotpure(SnapshotpureConfig{
+		Roots: []string{"snapshotpure/snap.WriteSnapshot", "snapshotpure/snap.ReadSnapshot"},
+		Sinks: []string{"(*snapshotpure/snap.pool).Stats"},
+	})
+	runFixture(t, a, "snapshotpure/snap")
+}
+
+func TestCtxloopFixtures(t *testing.T) {
+	a := Ctxloop(CtxloopConfig{Packages: []string{"ctxloop/loop"}})
+	runFixture(t, a, "ctxloop/loop")
+}
+
 func TestPkgPathOf(t *testing.T) {
 	cases := map[string]string{
 		"ffsage/internal/ffs":                                 "ffsage/internal/ffs",
@@ -74,10 +102,10 @@ func TestRepoIsClean(t *testing.T) {
 	if len(pkgs) == 0 {
 		t.Fatal("loaded no packages")
 	}
-	suite := DefaultSuite()
-	for _, pkg := range pkgs {
-		for _, d := range Run(pkg, suite) {
-			t.Errorf("%s", d)
-		}
+	// One Program spanning every package: the authoritative run, where
+	// the whole-program analyzers see cross-package reachability (the
+	// vettool path degrades to per-unit partial programs).
+	for _, d := range RunProgram(NewProgram(pkgs), DefaultSuite()) {
+		t.Errorf("%s", d)
 	}
 }

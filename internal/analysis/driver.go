@@ -1,27 +1,37 @@
 package analysis
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 )
 
-// Suite instantiates the full analyzer suite from the given configs.
-func Suite(dr DetrandConfig, cc CheckedCorruptionConfig, np NopanicConfig, dm DirmapConfig) []*Analyzer {
+// Suite instantiates the full analyzer suite from the given configs:
+// the per-package syntactic checkers first, then the whole-program
+// reachability checkers.
+func Suite(dr DetrandConfig, cc CheckedCorruptionConfig, np NopanicConfig, dm DirmapConfig,
+	fa FsyncackConfig, aw AtomicwriteConfig, sp SnapshotpureConfig, cl CtxloopConfig) []*Analyzer {
 	return []*Analyzer{
 		Detrand(dr),
 		Maporder(),
 		CheckedCorruption(cc),
 		Nopanic(np),
 		Dirmap(dm),
+		Fsyncack(fa),
+		Atomicwrite(aw),
+		Snapshotpure(sp),
+		Ctxloop(cl),
 	}
 }
 
 // DefaultSuite is the suite with the repository's sanctioned
 // configuration — what CI enforces.
 func DefaultSuite() []*Analyzer {
-	return Suite(DefaultDetrandConfig(), DefaultCheckedCorruptionConfig(), DefaultNopanicConfig(), DefaultDirmapConfig())
+	return Suite(DefaultDetrandConfig(), DefaultCheckedCorruptionConfig(), DefaultNopanicConfig(), DefaultDirmapConfig(),
+		DefaultFsyncackConfig(), DefaultAtomicwriteConfig(), DefaultSnapshotpureConfig(), DefaultCtxloopConfig())
 }
 
 // Main implements cmd/ffsvet. Two modes share the analyzers:
@@ -52,6 +62,11 @@ func Main(args []string) int {
 	cc := DefaultCheckedCorruptionConfig()
 	np := DefaultNopanicConfig()
 	dm := DefaultDirmapConfig()
+	fa := DefaultFsyncackConfig()
+	aw := DefaultAtomicwriteConfig()
+	sp := DefaultSnapshotpureConfig()
+	cl := DefaultCtxloopConfig()
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array on stdout (standalone mode only)")
 	csv := func(p *[]string, name, usage string) {
 		def := strings.Join(*p, ",")
 		fs.Func(name, usage+" (comma-separated; default "+def+")", func(v string) error {
@@ -64,6 +79,11 @@ func Main(args []string) int {
 	csv(&cc.Packages, "checkedcorruption.pkgs", "packages whose returned errors must be handled")
 	csv(&np.AllowFiles, "nopanic.allow", "file suffixes sanctioned to panic")
 	csv(&dm.Packages, "dirmap.pkgs", "packages where map[string]*File directory tables are forbidden")
+	csv(&fa.Packages, "fsyncack.pkgs", "packages whose durable writes must reach an fsync")
+	csv(&aw.Packages, "atomicwrite.pkgs", "packages whose state files must be written via tmp+rename")
+	csv(&sp.Roots, "snapshotpure.roots", "call-graph roots of the snapshot/checkpoint encode paths")
+	csv(&sp.Sinks, "snapshotpure.sinks", "extra process-local sinks forbidden under snapshot roots")
+	csv(&cl.Packages, "ctxloop.pkgs", "packages whose unbounded loops must poll context cancellation")
 	fs.Usage = func() {
 		fmt.Fprintf(fs.Output(), "usage: ffsvet [flags] [package patterns]\n")
 		fmt.Fprintf(fs.Output(), "       go vet -vettool=$(which ffsvet) ./...\n\nAnalyzers:\n")
@@ -77,7 +97,7 @@ func Main(args []string) int {
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
-	analyzers := Suite(dr, cc, np, dm)
+	analyzers := Suite(dr, cc, np, dm, fa, aw, sp, cl)
 
 	rest := fs.Args()
 	if len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {
@@ -93,14 +113,53 @@ func Main(args []string) int {
 		fmt.Fprintf(os.Stderr, "ffsvet: %v\n", err)
 		return 2
 	}
-	exit := 0
-	for _, pkg := range pkgs {
-		for _, d := range Run(pkg, analyzers) {
+	// Standalone mode is the authoritative whole-program run: one call
+	// graph spanning every loaded package, so reachability crosses
+	// package boundaries (vettool mode sees one unit at a time and
+	// degrades to under-reporting; see Program.Partial).
+	diags := RunProgram(NewProgram(pkgs), analyzers)
+	if *jsonOut {
+		if err := WriteJSON(os.Stdout, diags); err != nil {
+			fmt.Fprintf(os.Stderr, "ffsvet: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
 			fmt.Fprintln(os.Stderr, d)
-			exit = 1
 		}
 	}
-	return exit
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// A JSONDiagnostic is the stable machine-readable finding shape emitted
+// by `ffsvet -json`, consumed by CI tooling.
+type JSONDiagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"` // qualified, e.g. "ffsvet/fsyncack"
+	Message  string `json:"message"`
+}
+
+// WriteJSON renders diags as an indented JSON array (an empty run emits
+// "[]", never "null", so consumers can always range the result).
+func WriteJSON(w io.Writer, diags []Diagnostic) error {
+	out := make([]JSONDiagnostic, 0, len(diags))
+	for _, d := range diags {
+		out = append(out, JSONDiagnostic{
+			File:     d.Pos.Filename,
+			Line:     d.Pos.Line,
+			Column:   d.Pos.Column,
+			Analyzer: "ffsvet/" + d.Analyzer,
+			Message:  d.Message,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
 }
 
 func splitCSV(s string) []string {

@@ -35,8 +35,9 @@ import (
 // stdFixtureImports are the standard-library packages fixtures may
 // import; their export data is listed once per test binary.
 var stdFixtureImports = []string{
-	"bytes", "errors", "fmt", "io", "log", "maps", "math/rand",
-	"math/rand/v2", "os", "slices", "sort", "strings", "time",
+	"bytes", "context", "errors", "fmt", "io", "log", "maps",
+	"math/rand", "math/rand/v2", "os", "slices", "sort", "strings",
+	"time",
 }
 
 var (

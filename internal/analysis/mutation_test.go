@@ -1,0 +1,168 @@
+package analysis
+
+// Mutation tests: seed the defects the whole-program analyzers exist to
+// catch into the real sources, re-typecheck against the module's export
+// data, and require the finding. A fixture proves an analyzer works on
+// a toy; these prove that the configured roots, package lists, and
+// primitive keys match the actual tree — a renamed function or a stale
+// root would make the analyzer silently vacuous, and this is the test
+// that would notice.
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// loadRepoPackage loads one package of this module, with patch applied
+// to each source file's bytes before parsing (nil patch = verbatim).
+func loadRepoPackage(t *testing.T, importPath string, patch func(name string, src []byte) []byte) *Package {
+	t.Helper()
+	cmd := exec.Command("go", "list", "-export", "-deps",
+		"-json=ImportPath,Dir,Name,Export,GoFiles,Standard,DepOnly", importPath)
+	cmd.Dir = "../.."
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		t.Fatalf("go list: %v\n%s", err, stderr.String())
+	}
+	exports := map[string]string{}
+	var target *listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			t.Fatalf("go list output: %v", err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if p.ImportPath == importPath {
+			pv := p
+			target = &pv
+		}
+	}
+	if target == nil {
+		t.Fatalf("go list did not return %s", importPath)
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range target.GoFiles {
+		full := filepath.Join(target.Dir, name)
+		var src any
+		if patch != nil {
+			data, err := os.ReadFile(full)
+			if err != nil {
+				t.Fatal(err)
+			}
+			src = patch(full, data)
+		}
+		f, err := parser.ParseFile(fset, full, src, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parsing mutated %s: %v", name, err)
+		}
+		files = append(files, f)
+	}
+	pkg, err := TypeCheck(fset, importPath, goVersionOf("../.."), files, NewExportImporter(fset, nil, exports))
+	if err != nil {
+		t.Fatalf("type-checking mutated %s: %v", importPath, err)
+	}
+	return pkg
+}
+
+// mustReplace asserts the mutation anchor still exists in the source —
+// a refactor that moves it should fail loudly here, not silently turn
+// the test into a no-op.
+func mustReplace(t *testing.T, src []byte, old, new string) []byte {
+	t.Helper()
+	if !bytes.Contains(src, []byte(old)) {
+		t.Fatalf("mutation anchor %q not found; update the mutation test alongside the refactor", old)
+	}
+	return bytes.Replace(src, []byte(old), []byte(new), 1)
+}
+
+// TestMutationDeletedSyncIsFlagged deletes the fsync from the WAL
+// append path — the exact defect that turns an acknowledged enqueue
+// into data loss on power failure — and requires fsyncack to flag the
+// now-unsynced write.
+func TestMutationDeletedSyncIsFlagged(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns go list -export over the module")
+	}
+	load := func(patch func(name string, src []byte) []byte) []Diagnostic {
+		pkg := loadRepoPackage(t, "ffsage/internal/queue", patch)
+		return RunProgram(NewProgram([]*Package{pkg}),
+			[]*Analyzer{Fsyncack(DefaultFsyncackConfig())})
+	}
+	if diags := load(nil); len(diags) != 0 {
+		t.Fatalf("unmutated queue is not clean: %v", diags)
+	}
+	diags := load(func(name string, src []byte) []byte {
+		if filepath.Base(name) != "wal.go" {
+			return src
+		}
+		return mustReplace(t, src, "w.f.Sync()", "error(nil)")
+	})
+	if len(diags) == 0 {
+		t.Fatal("deleting the Sync in (*WAL).append produced no fsyncack finding")
+	}
+	for _, d := range diags {
+		if !strings.Contains(d.Message, "(*queue.WAL).append") {
+			t.Errorf("finding does not name the append path: %s", d)
+		}
+	}
+}
+
+// TestMutationInjectedClockIsFlagged injects a wall-clock read two
+// call-graph edges below the checkpoint codec roots (ReadCheckpoint →
+// ReadFrame → corruptWrap) and requires snapshotpure to carry the taint
+// down to it.
+func TestMutationInjectedClockIsFlagged(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns go list -export over the module")
+	}
+	load := func(patch func(name string, src []byte) []byte) []Diagnostic {
+		pkg := loadRepoPackage(t, "ffsage/internal/trace", patch)
+		return RunProgram(NewProgram([]*Package{pkg}),
+			[]*Analyzer{Snapshotpure(DefaultSnapshotpureConfig())})
+	}
+	if diags := load(nil); len(diags) != 0 {
+		t.Fatalf("unmutated trace is not clean: %v", diags)
+	}
+	diags := load(func(name string, src []byte) []byte {
+		if filepath.Base(name) != "frame.go" {
+			return src
+		}
+		src = mustReplace(t, src, "\t\"io\"\n)", "\t\"io\"\n\t\"time\"\n)")
+		return mustReplace(t, src,
+			"func corruptWrap(what, msg string, err error) error {\n",
+			"func corruptWrap(what, msg string, err error) error {\n\t_ = time.Now()\n")
+	})
+	if len(diags) == 0 {
+		t.Fatal("injecting time.Now two edges below the checkpoint roots produced no snapshotpure finding")
+	}
+	found := false
+	for _, d := range diags {
+		if strings.Contains(d.Message, "time.Now") && strings.Contains(d.Message, "corruptWrap") {
+			found = true
+		}
+	}
+	if !found {
+		var lines []string
+		for _, d := range diags {
+			lines = append(lines, d.String())
+		}
+		t.Errorf("no finding names both time.Now and the corruptWrap witness:\n%s", strings.Join(lines, "\n"))
+	}
+}

@@ -1,0 +1,72 @@
+// Package state is the atomicwrite fixture: a guarded package whose
+// files must be replaced via tmp+rename, never created or truncated at
+// their final path.
+package state
+
+import "os"
+
+// saveInPlace is the basic violation: a crash mid-WriteFile leaves a
+// torn file where the previous state used to be.
+func saveInPlace(path string, p []byte) error {
+	return os.WriteFile(path, p, 0o644) // want `os\.WriteFile in state\.saveInPlace writes a state file in place`
+}
+
+// createInPlace covers the os.Create primitive, which truncates the
+// target on open.
+func createInPlace(path string) error {
+	f, err := os.Create(path) // want `os\.Create in state\.createInPlace writes a state file in place`
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// saveAtomic is the sanctioned idiom: the in-place primitives hit a
+// temp path only, and the rename in the same closure marks this
+// function as a helper.
+func saveAtomic(path string, p []byte) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, p, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// commit delegates the rename one static edge away.
+func commit(tmp, path string) error { return os.Rename(tmp, path) }
+
+// saveViaHelper writes in place by primitive but reaches os.Rename
+// through commit: helper-shaped, not flagged.
+func saveViaHelper(path string, p []byte) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, p, 0o644); err != nil {
+		return err
+	}
+	return commit(tmp, path)
+}
+
+// committer is the interface-dispatch case: the concrete implementation
+// renames, so the write is committed even though no os.Rename is
+// textually visible from the caller.
+type committer interface {
+	Commit(tmp, path string) error
+}
+
+type renameCommitter struct{}
+
+func (renameCommitter) Commit(tmp, path string) error { return os.Rename(tmp, path) }
+
+func saveViaInterface(c committer, path string, p []byte) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, p, 0o644); err != nil {
+		return err
+	}
+	return c.Commit(tmp, path)
+}
+
+// saveSuppressed documents the escape hatch for genuinely disposable
+// files.
+func saveSuppressed(path string, p []byte) error {
+	//lint:ignore ffsvet/atomicwrite scratch report regenerated on every run; a torn copy costs nothing
+	return os.WriteFile(path, p, 0o644)
+}

@@ -1,0 +1,120 @@
+// Package loop is the ctxloop fixture: a guarded package whose
+// unbounded loops must consult a context.Context — directly, or through
+// any call whose closure reaches a polling function.
+package loop
+
+import "context"
+
+func work() {}
+
+// drainNoPoll is the basic violation: nothing in the loop can observe
+// cancellation.
+func drainNoPoll() {
+	for { // want `unbounded loop in drainNoPoll neither polls a context\.Context nor calls anything that does`
+		work()
+	}
+}
+
+// drainDirect polls ctx.Err itself.
+func drainDirect(ctx context.Context) {
+	for {
+		if ctx.Err() != nil {
+			return
+		}
+		work()
+	}
+}
+
+// drainSelect polls via a ctx.Done select case.
+func drainSelect(ctx context.Context) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		default:
+			work()
+		}
+	}
+}
+
+// step polls one static call-graph edge away.
+func step(ctx context.Context) bool {
+	return ctx.Err() != nil
+}
+
+// drainViaHelper is covered by step's polling.
+func drainViaHelper(ctx context.Context) {
+	for {
+		if step(ctx) {
+			return
+		}
+		work()
+	}
+}
+
+// helperNoPoll does not poll; delegating to it leaves the loop
+// uninterruptible, and the traversal runs the edge and still flags.
+func helperNoPoll() { work() }
+
+func drainViaWrongHelper() {
+	for { // want `unbounded loop in drainViaWrongHelper neither polls a context\.Context nor calls anything that does`
+		helperNoPoll()
+	}
+}
+
+// worker is the interface-dispatch case: the concrete implementation
+// polls, so stepping through the interface covers the loop.
+type worker interface {
+	Step() bool
+}
+
+type ctxWorker struct{ ctx context.Context }
+
+func (w *ctxWorker) Step() bool { return w.ctx.Err() != nil }
+
+func drainViaInterface(w worker) {
+	for {
+		if w.Step() {
+			return
+		}
+		work()
+	}
+}
+
+// drainViaFuncValue is covered through a stored function value bound to
+// step.
+func drainViaFuncValue(ctx context.Context) {
+	fn := step
+	for {
+		if fn(ctx) {
+			return
+		}
+		work()
+	}
+}
+
+// rangeChan blocks on a channel that cancellation cannot close.
+func rangeChan(ch chan int) {
+	for range ch { // want `unbounded loop in rangeChan neither polls a context\.Context nor calls anything that does`
+		work()
+	}
+}
+
+// rangeSlice is bounded by construction.
+func rangeSlice(xs []int) {
+	for range xs {
+		work()
+	}
+}
+
+// drainSuppressed documents the termination-argument escape hatch.
+func drainSuppressed(n int) int {
+	i := 0
+	//lint:ignore ffsvet/ctxloop bounded: i strictly increases toward n every iteration
+	for {
+		if i >= n {
+			return i
+		}
+		i++
+	}
+}

@@ -1,0 +1,15 @@
+// Package other holds the same unsynced-write shapes as the guarded
+// fixture but lies outside the configured packages: fsyncack must stay
+// silent here.
+package other
+
+import "os"
+
+func writeNoSync(f *os.File, p []byte) error {
+	_, err := f.Write(p)
+	return err
+}
+
+func writeFileNoSync(path string, p []byte) error {
+	return os.WriteFile(path, p, 0o644)
+}

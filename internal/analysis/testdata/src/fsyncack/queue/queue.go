@@ -1,0 +1,89 @@
+// Package queue is the fsyncack fixture: it mirrors an ack-bearing
+// package (configured as guarded) whose durable writes must reach an
+// fsync through the call graph before success is returned.
+package queue
+
+import "os"
+
+// writeAckedNoSync is the basic violation: bytes reach the page cache,
+// the caller is told they are durable, and no path syncs them.
+func writeAckedNoSync(f *os.File, p []byte) error {
+	_, err := f.Write(p) // want `no path from queue.writeAckedNoSync reaches \(\*os\.File\)\.Sync`
+	return err
+}
+
+// writeFileNoSync covers the os.WriteFile primitive.
+func writeFileNoSync(path string, p []byte) error {
+	return os.WriteFile(path, p, 0o644) // want `no path from queue.writeFileNoSync reaches \(\*os\.File\)\.Sync`
+}
+
+// writeThenSync is the direct good case: one Sync in the same body
+// covers the write.
+func writeThenSync(f *os.File, p []byte) error {
+	if _, err := f.Write(p); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+// syncHelper exists to be one static call-graph edge away.
+func syncHelper(f *os.File) error { return f.Sync() }
+
+// writeViaHelper reaches Sync through a helper: the analyzer must
+// follow the static edge rather than scan the body's text.
+func writeViaHelper(f *os.File, p []byte) error {
+	if _, err := f.Write(p); err != nil {
+		return err
+	}
+	return syncHelper(f)
+}
+
+// nonSyncHelper closes without syncing; delegating to it does not make
+// a write durable.
+func nonSyncHelper(f *os.File) error { return f.Close() }
+
+// writeViaWrongHelper delegates to a helper that never syncs: the
+// traversal runs one edge deep and still finds no Sync, so the write
+// is flagged.
+func writeViaWrongHelper(f *os.File, p []byte) error {
+	if _, err := f.Write(p); err != nil { // want `no path from queue.writeViaWrongHelper reaches \(\*os\.File\)\.Sync`
+		return err
+	}
+	return nonSyncHelper(f)
+}
+
+// flusher is the interface-dispatch case: the concrete implementation
+// syncs, so a write followed by a flush through the interface is
+// durable even though no Sync is textually visible from the caller.
+type flusher interface {
+	Flush() error
+}
+
+type fileFlusher struct{ f *os.File }
+
+func (ff *fileFlusher) Flush() error { return ff.f.Sync() }
+
+func writeViaInterface(f *os.File, fl flusher, p []byte) error {
+	if _, err := f.Write(p); err != nil {
+		return err
+	}
+	return fl.Flush()
+}
+
+// writeViaFuncValue reaches Sync through a stored function value: the
+// bound set links the dynamic call to syncHelper by signature.
+func writeViaFuncValue(f *os.File, p []byte) error {
+	commit := syncHelper
+	if _, err := f.Write(p); err != nil {
+		return err
+	}
+	return commit(f)
+}
+
+// writeSuppressed documents the sanctioned escape hatch: a scratch file
+// the caller never treats as durable.
+func writeSuppressed(f *os.File, p []byte) error {
+	//lint:ignore ffsvet/fsyncack scratch spill file; contents are re-derived on restart, never acknowledged as durable
+	_, err := f.Write(p)
+	return err
+}

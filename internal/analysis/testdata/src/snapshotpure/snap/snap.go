@@ -1,0 +1,89 @@
+// Package snap is the snapshotpure fixture: WriteSnapshot and
+// ReadSnapshot are configured as roots, (*pool).Stats as an extra
+// process-local sink. Functions reachable from a root must not read
+// the wall clock, the global random generator, or a configured sink —
+// however many call-graph edges away; everything outside the root
+// closures may do all of it.
+package snap
+
+import (
+	"io"
+	"math/rand"
+	"time"
+)
+
+// WriteSnapshot is a configured root.
+func WriteSnapshot(w io.Writer) error {
+	if err := encodeHeader(w); err != nil {
+		return err
+	}
+	enc := encoder(randEncoder{})
+	if err := enc.Encode(w); err != nil {
+		return err
+	}
+	fn := nowMillis
+	_ = fn()
+	return encodeBody(w)
+}
+
+// encodeHeader is one edge below the root; stamp is two. The wall-clock
+// read is reported where it happens, with the witness path from the
+// root.
+func encodeHeader(w io.Writer) error {
+	return stamp(w)
+}
+
+func stamp(w io.Writer) error {
+	t := time.Now() // want `time\.Now reads the wall clock inside a snapshot path \(snap\.WriteSnapshot → snap\.encodeHeader → snap\.stamp\)`
+	_ = t
+	_, err := w.Write([]byte("hdr"))
+	return err
+}
+
+// encoder is the interface-dispatch case: the root calls Encode through
+// the interface, and the union expansion reaches the concrete method's
+// global-rand read.
+type encoder interface {
+	Encode(w io.Writer) error
+}
+
+type randEncoder struct{}
+
+func (randEncoder) Encode(w io.Writer) error {
+	pad := rand.Int() // want `math/rand\.Int reads the process-global random generator inside a snapshot path`
+	_ = pad
+	_, err := w.Write([]byte("enc"))
+	return err
+}
+
+// nowMillis is called through a stored function value in the root; the
+// bound set carries the taint.
+func nowMillis() int64 {
+	return time.Now().UnixMilli() // want `time\.Now reads the wall clock inside a snapshot path`
+}
+
+// encodeBody stays pure: no finding anywhere below it.
+func encodeBody(w io.Writer) error {
+	_, err := w.Write([]byte("body"))
+	return err
+}
+
+// pool.Stats is the configured extra sink: process-local counters that
+// an interrupted-and-resumed run would report differently.
+type pool struct{ hits int }
+
+func (p *pool) Stats() int { return p.hits }
+
+// ReadSnapshot is the second root; reading the sink inside its closure
+// is the violation.
+func ReadSnapshot(r io.Reader, p *pool) error {
+	n := p.Stats() // want `\(\*snapshotpure/snap\.pool\)\.Stats reads process-local state that differs under resume`
+	_ = n
+	return nil
+}
+
+// notARoot may use all of it: time, rand, and the pool are only
+// forbidden inside root closures.
+func notARoot(p *pool) int64 {
+	return time.Now().UnixNano() + int64(rand.Int()) + int64(p.Stats())
+}

@@ -32,9 +32,11 @@ type vetConfig struct {
 // returned exit code follows the vettool convention: 0 clean, 1
 // findings, 2 tool failure. cmd/go invokes the tool once per package
 // in the build graph; dependency-only units arrive with VetxOnly set
-// and are skipped outright — the ffsvet analyzers are package-local
-// and export no facts, but the facts file (VetxOutput) must still be
-// written for cmd/go to cache the run.
+// and are skipped outright — ffsvet exports no facts, but the facts
+// file (VetxOutput) must still be written for cmd/go to cache the
+// run. The unit is analyzed as a Partial program: the whole-program
+// analyzers degrade to optimistic reachability there (see Program),
+// and the standalone driver remains the authoritative run.
 func RunVetTool(cfgFile string, analyzers []*Analyzer) int {
 	data, err := os.ReadFile(cfgFile)
 	if err != nil {
@@ -70,7 +72,13 @@ func RunVetTool(cfgFile string, analyzers []*Analyzer) int {
 		imp := NewExportImporter(fset, cfg.ImportMap, cfg.PackageFile)
 		pkg, err = TypeCheck(fset, cfg.ImportPath, cfg.GoVersion, files, imp)
 		if err == nil {
-			diags := Run(pkg, analyzers)
+			// One compilation unit is a partial program: the
+			// whole-program analyzers run with opaque-callee optimism so
+			// they under-report rather than over-report here; the
+			// standalone driver and TestRepoIsClean are authoritative.
+			prog := NewProgram([]*Package{pkg})
+			prog.Partial = true
+			diags := RunProgram(prog, analyzers)
 			for _, d := range diags {
 				fmt.Fprintln(os.Stderr, d)
 			}

@@ -196,6 +196,7 @@ func (m *Manager) freshID() string {
 	for _, r := range m.q.List() {
 		used[r.ID] = true
 	}
+	//lint:ignore ffsvet/ctxloop bounded: at most len(used)+1 iterations before an unused ID is found
 	for i := 1; ; i++ {
 		id := fmt.Sprintf("job-%06d", i)
 		if !used[id] {

@@ -84,6 +84,7 @@ func Open(path string) (*WAL, error) {
 	// Replay the longest valid frame prefix.
 	goodOff := 0
 	rest := data
+	//lint:ignore ffsvet/ctxloop bounded: consumes the file's remaining bytes; exits at EOF or the first bad frame
 	for {
 		payload, err := trace.ReadFrame(newSliceReader(&rest), walMagic, walVersion, maxWALRecord, walWhat)
 		if err == io.EOF {
@@ -103,10 +104,7 @@ func Open(path string) (*WAL, error) {
 		w.Recovered.Records++
 	}
 	if w.Recovered.TruncatedTail {
-		if err := os.WriteFile(path+".tmp", data[:goodOff], 0o644); err != nil {
-			return nil, fmt.Errorf("queue: truncating torn WAL tail: %w", err)
-		}
-		if err := os.Rename(path+".tmp", path); err != nil {
+		if err := replaceFile(path, data[:goodOff]); err != nil {
 			return nil, fmt.Errorf("queue: truncating torn WAL tail: %w", err)
 		}
 	}
@@ -171,14 +169,39 @@ func (w *WAL) compact() error {
 			}
 		}
 	}
-	tmp := w.path + ".tmp"
-	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
-		return fmt.Errorf("queue: compacting WAL: %w", err)
-	}
-	if err := os.Rename(tmp, w.path); err != nil {
+	if err := replaceFile(w.path, buf); err != nil {
 		return fmt.Errorf("queue: compacting WAL: %w", err)
 	}
 	return nil
+}
+
+// replaceFile atomically replaces path with data: write a
+// same-directory temp file, fsync it, then rename over the target.
+// Rename alone is not enough — it commits the name, not the bytes, and
+// a power failure after an unsynced rename can leave the new file empty
+// or torn at its final path, destroying the log prefix that truncation
+// and compaction were trying to preserve.
+func replaceFile(path string, data []byte) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
 }
 
 // append logs one record payload durably: frame, write, fsync. A
