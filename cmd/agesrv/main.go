@@ -14,6 +14,13 @@
 //	curl localhost:8377/jobs/job-000001
 //	curl localhost:8377/jobs/job-000001/events?follow=1
 //	curl localhost:8377/jobs/job-000001/result
+//	curl localhost:8377/jobs/job-000001/spans
+//	curl -O localhost:8377/jobs/job-000001/image
+//
+// The daemon also serves an operational surface: Prometheus-format
+// telemetry at /metrics, liveness at /healthz, readiness at /readyz
+// (503 while draining or after a WAL write failure), and — with
+// -pprof — the standard profiling endpoints under /debug/pprof/.
 //
 // SIGTERM drains gracefully: running jobs checkpoint at their exact
 // operation cursor and stay marked in-flight, so the next start picks
@@ -26,6 +33,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -41,15 +49,16 @@ func main() {
 		dir        = flag.String("dir", "agesrv-state", "state directory (queue WAL, checkpoints, artifacts)")
 		workers    = flag.Int("workers", 2, "concurrently running jobs")
 		maxPending = flag.Int("max-pending", 64, "queued-job bound before submissions shed with 429")
+		pprof      = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ (trusted networks only)")
 	)
 	flag.Parse()
-	if err := run(*addr, *dir, *workers, *maxPending); err != nil {
+	if err := run(*addr, *dir, *workers, *maxPending, *pprof); err != nil {
 		fmt.Fprintln(os.Stderr, "agesrv:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, dir string, workers, maxPending int) error {
+func run(addr, dir string, workers, maxPending int, pprofOn bool) error {
 	logf := func(format string, args ...any) {
 		fmt.Fprintf(os.Stderr, "agesrv: "+format+"\n", args...)
 	}
@@ -71,7 +80,21 @@ func run(addr, dir string, workers, maxPending int) error {
 		return err
 	}
 
-	srv := &http.Server{Addr: addr, Handler: m.Handler()}
+	handler := m.Handler()
+	if pprofOn {
+		// Opt-in only: profiling endpoints expose heap contents and can
+		// stall the process, so they never ship on by default.
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = mux
+		logf("pprof enabled under /debug/pprof/")
+	}
+	srv := &http.Server{Addr: addr, Handler: handler}
 	errc := make(chan error, 1)
 	go func() {
 		if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {

@@ -9,6 +9,7 @@
 //	      [-busstudy] [-profiles] [-j N] [-slowscore]
 //	      [-faults spec] [-checkpoint-every K] [-checkpoint-dir dir] [-resume]
 //	      [-md out.md] [-svg dir] [-metrics out.metrics] [-events out.jsonl]
+//	      [-spans out.trace.json] [-spans-jsonl out.spans.jsonl]
 //	      [-cpuprofile out.pprof] [-memprofile out.pprof]
 //
 // The full run ages three 502 MB file systems through a ten-month
@@ -64,6 +65,8 @@ func main() {
 		svgDir     = flag.String("svg", "", "also render the six figures as SVG into this directory")
 		metricsOut = flag.String("metrics", "", "write the deterministic metrics snapshot to this file")
 		eventsOut  = flag.String("events", "", "write the deterministic event streams (JSONL) to this file")
+		spansOut   = flag.String("spans", "", "write the span streams as Chrome trace-event JSON (chrome://tracing, Perfetto) to this file")
+		spansJSONL = flag.String("spans-jsonl", "", "write the span streams as JSONL to this file")
 		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf    = flag.String("memprofile", "", "write a heap profile to this file")
 	)
@@ -87,7 +90,8 @@ func main() {
 	err := run(options{seed: *seed, quick: *quick, only: *only, ablations: *ablations,
 		profiles: *profiles, busStudy: *busStudy, slowScore: *slowScore, arena: *arena,
 		faults: *faultSpec, ckptEvery: *ckptEvery, ckptDir: *ckptDir, resume: *resume,
-		mdPath: *mdPath, svgDir: *svgDir, metrics: *metricsOut, events: *eventsOut})
+		mdPath: *mdPath, svgDir: *svgDir, metrics: *metricsOut, events: *eventsOut,
+		spans: *spansOut, spansJSONL: *spansJSONL})
 	if *memProf != "" {
 		if perr := writeHeapProfile(*memProf); perr != nil && err == nil {
 			err = perr
@@ -148,22 +152,24 @@ func (r *report) table(lines []string) {
 
 // options carries the command line.
 type options struct {
-	seed      int64
-	quick     bool
-	only      string
-	ablations bool
-	profiles  bool
-	busStudy  bool
-	slowScore bool
-	arena     string
-	faults    string
-	ckptEvery int
-	ckptDir   string
-	resume    bool
-	mdPath    string
-	svgDir    string
-	metrics   string
-	events    string
+	seed       int64
+	quick      bool
+	only       string
+	ablations  bool
+	profiles   bool
+	busStudy   bool
+	slowScore  bool
+	arena      string
+	faults     string
+	ckptEvery  int
+	ckptDir    string
+	resume     bool
+	mdPath     string
+	svgDir     string
+	metrics    string
+	events     string
+	spans      string
+	spansJSONL string
 }
 
 // writeHeapProfile dumps an up-to-date heap profile.
@@ -541,6 +547,18 @@ func run(o options) error {
 			return err
 		}
 		fmt.Printf("event streams written to %s\n", o.events)
+	}
+	if o.spans != "" {
+		if err := writeSnapshot(o.spans, obs.Default.WriteChromeTrace); err != nil {
+			return err
+		}
+		fmt.Printf("span trace written to %s (load in chrome://tracing or Perfetto)\n", o.spans)
+	}
+	if o.spansJSONL != "" {
+		if err := writeSnapshot(o.spansJSONL, obs.Default.WriteSpans); err != nil {
+			return err
+		}
+		fmt.Printf("span streams written to %s\n", o.spansJSONL)
 	}
 	timingFooter()
 	return nil

@@ -39,13 +39,16 @@ func TestArenaOffIdenticalResults(t *testing.T) {
 			len(imgOn), len(imgOff))
 	}
 
-	mOn, eOn := snapshotRun(t, wl, nil, Options{})
-	mOff, eOff := snapshotRun(t, wl, nil, Options{NoArena: true})
+	mOn, eOn, sOn := snapshotRun(t, wl, nil, Options{})
+	mOff, eOff, sOff := snapshotRun(t, wl, nil, Options{NoArena: true})
 	if mOn != mOff {
 		t.Errorf("metrics snapshots differ\narena on:\n%s\narena off:\n%s", mOn, mOff)
 	}
 	if eOn != eOff {
 		t.Errorf("event snapshots differ\narena on:\n%s\narena off:\n%s", eOn, eOff)
+	}
+	if sOn != sOff {
+		t.Errorf("span snapshots differ\narena on:\n%s\narena off:\n%s", sOn, sOff)
 	}
 }
 
@@ -57,7 +60,7 @@ func TestArenaOffIdenticalResults(t *testing.T) {
 // boundary converges to the same result.
 func TestArenaOffIdenticalAcrossCrashResume(t *testing.T) {
 	wl := testWorkload(5, 14)
-	wantMetrics, wantEvents := snapshotRun(t, wl, nil, Options{})
+	wantMetrics, wantEvents, wantSpans := snapshotRun(t, wl, nil, Options{})
 
 	for _, tc := range []struct {
 		name             string
@@ -80,7 +83,7 @@ func TestArenaOffIdenticalAcrossCrashResume(t *testing.T) {
 			if len(cps) == 0 {
 				t.Fatal("no checkpoints before the crash")
 			}
-			gotMetrics, gotEvents := snapshotRun(t, wl, cps[len(cps)-1], tc.resumed)
+			gotMetrics, gotEvents, gotSpans := snapshotRun(t, wl, cps[len(cps)-1], tc.resumed)
 			if gotMetrics != wantMetrics {
 				t.Errorf("resumed metrics differ from uninterrupted arena-on run\ngot:\n%s\nwant:\n%s",
 					gotMetrics, wantMetrics)
@@ -88,6 +91,10 @@ func TestArenaOffIdenticalAcrossCrashResume(t *testing.T) {
 			if gotEvents != wantEvents {
 				t.Errorf("resumed events differ from uninterrupted arena-on run\ngot:\n%s\nwant:\n%s",
 					gotEvents, wantEvents)
+			}
+			if gotSpans != wantSpans {
+				t.Errorf("resumed spans differ from uninterrupted arena-on run\ngot:\n%s\nwant:\n%s",
+					gotSpans, wantSpans)
 			}
 		})
 	}

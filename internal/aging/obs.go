@@ -80,6 +80,61 @@ func PublishResult(sc *obs.Scope, res *Result, wl *trace.Workload) {
 			obs.I("deletes", m.deletes),
 			obs.I("rewrites", m.rewrites))
 	}
+
+	publishSpans(sc, res, wl)
+}
+
+// publishSpans emits the replay's hierarchical span stream, time in
+// simulated days: one root "replay" span covering the recorded period,
+// one "day" span per recorded day, one span per workload operation
+// inside its day, and an "alloc" child under every space-allocating op
+// carrying the requested bytes. Like the rest of PublishResult the
+// stream is derived purely from resume-safe state (the Result's series
+// and the workload), and spans are emitted in one fixed sequential
+// order, so IDs — and the whole encoded stream — are byte-identical
+// across worker counts and crash/resume. The ring keeps the most
+// recent DefaultRingCap completed spans; the dump's header line says
+// exactly how many older ones it evicted.
+func publishSpans(sc *obs.Scope, res *Result, wl *trace.Workload) {
+	days := res.LayoutByDay
+	if len(days) == 0 {
+		return
+	}
+	tr := sc.SpanTracer("spans")
+	tr.Start(float64(days[0].Day)-1, "replay",
+		obs.I("days", int64(len(days))), obs.I("ops", int64(len(wl.Ops))))
+	oi := 0
+	for i, pt := range days {
+		tr.Start(float64(pt.Day)-1, "day", obs.I("day", int64(pt.Day)))
+		for oi < len(wl.Ops) && wl.Ops[oi].Day <= pt.Day {
+			op := &wl.Ops[oi]
+			oi++
+			t := float64(op.Day) - 1 + op.Sec/86400
+			var name string
+			switch op.Kind {
+			case trace.OpCreate:
+				name = "create"
+			case trace.OpDelete:
+				name = "delete"
+			case trace.OpRewrite:
+				name = "rewrite"
+			default:
+				name = "op"
+			}
+			// The attr is "file", not "id": the encoded span already has
+			// an "id" key (its span ID) and JSONL objects must not carry
+			// duplicate keys.
+			tr.Start(t, name, obs.I("file", op.ID), obs.I("cg", int64(op.Cg)))
+			if op.Kind == trace.OpCreate || op.Kind == trace.OpRewrite {
+				tr.Start(t, "alloc", obs.I("bytes", op.Size))
+				tr.End(t)
+			}
+			tr.End(t)
+		}
+		tr.End(float64(pt.Day), obs.F("layout", pt.Value), obs.F("util", res.UtilByDay[i].Value))
+	}
+	tr.End(float64(days[len(days)-1].Day),
+		obs.F("final.layout", days[len(days)-1].Value))
 }
 
 // PublishArenaStats publishes the file system's File-recycling pool

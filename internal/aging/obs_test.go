@@ -6,6 +6,7 @@ import (
 	"flag"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"ffsage/internal/core"
@@ -17,8 +18,8 @@ import (
 var updateGolden = flag.Bool("update", false, "rewrite golden files")
 
 // snapshotRun replays wl (or resumes from cp) and returns the published
-// metrics and events dumps.
-func snapshotRun(t *testing.T, wl *trace.Workload, cp *trace.Checkpoint, opts Options) (metrics, events string) {
+// metrics, events, and span dumps.
+func snapshotRun(t *testing.T, wl *trace.Workload, cp *trace.Checkpoint, opts Options) (metrics, events, spans string) {
 	t.Helper()
 	reg := obs.NewRegistry()
 	opts.Obs = reg.Scope("aging.test")
@@ -33,14 +34,17 @@ func snapshotRun(t *testing.T, wl *trace.Workload, cp *trace.Checkpoint, opts Op
 		t.Fatal(err)
 	}
 	PublishResult(reg.Scope("aging.test"), res, wl)
-	var m, e bytes.Buffer
+	var m, e, s bytes.Buffer
 	if err := reg.WriteMetrics(&m); err != nil {
 		t.Fatal(err)
 	}
 	if err := reg.WriteEvents(&e); err != nil {
 		t.Fatal(err)
 	}
-	return m.String(), e.String()
+	if err := reg.WriteSpans(&s); err != nil {
+		t.Fatal(err)
+	}
+	return m.String(), e.String(), s.String()
 }
 
 // TestPublishResultGolden pins the exact snapshot text of a small
@@ -81,12 +85,16 @@ func TestPublishResultGolden(t *testing.T) {
 
 // TestPublishResultResumeIdentical crashes a checkpointing replay
 // mid-run, resumes it, and requires the resumed run's published
-// metrics AND event streams to be byte-identical to an uninterrupted
-// run's — the observability half of the resume-determinism contract.
+// metrics, event streams, AND span streams to be byte-identical to an
+// uninterrupted run's — the observability half of the
+// resume-determinism contract.
 func TestPublishResultResumeIdentical(t *testing.T) {
 	wl := testWorkload(5, 14)
 
-	wantMetrics, wantEvents := snapshotRun(t, wl, nil, Options{})
+	wantMetrics, wantEvents, wantSpans := snapshotRun(t, wl, nil, Options{})
+	if !strings.Contains(wantSpans, `"span":"replay"`) {
+		t.Fatalf("span stream missing the replay root (vacuous comparison):\n%s", wantSpans)
+	}
 
 	var cps []*trace.Checkpoint
 	_, err := Replay(testParams(), core.Realloc{}, wl, Options{
@@ -102,12 +110,15 @@ func TestPublishResultResumeIdentical(t *testing.T) {
 		t.Fatal("no checkpoints before the crash")
 	}
 
-	gotMetrics, gotEvents := snapshotRun(t, wl, cps[len(cps)-1], Options{})
+	gotMetrics, gotEvents, gotSpans := snapshotRun(t, wl, cps[len(cps)-1], Options{})
 	if gotMetrics != wantMetrics {
 		t.Errorf("resumed metrics differ from uninterrupted run\ngot:\n%s\nwant:\n%s", gotMetrics, wantMetrics)
 	}
 	if gotEvents != wantEvents {
 		t.Errorf("resumed events differ from uninterrupted run\ngot:\n%s\nwant:\n%s", gotEvents, wantEvents)
+	}
+	if gotSpans != wantSpans {
+		t.Errorf("resumed spans differ from uninterrupted run\ngot:\n%s\nwant:\n%s", gotSpans, wantSpans)
 	}
 }
 

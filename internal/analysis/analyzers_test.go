@@ -63,7 +63,7 @@ func TestAtomicwriteFixtures(t *testing.T) {
 func TestSnapshotpureFixtures(t *testing.T) {
 	a := Snapshotpure(SnapshotpureConfig{
 		Roots: []string{"snapshotpure/snap.WriteSnapshot", "snapshotpure/snap.ReadSnapshot"},
-		Sinks: []string{"(*snapshotpure/snap.pool).Stats"},
+		Sinks: []string{"(*snapshotpure/snap.pool).Stats", "snapshotpure/snap.Ops"},
 	})
 	runFixture(t, a, "snapshotpure/snap")
 }

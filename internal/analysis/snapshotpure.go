@@ -26,7 +26,11 @@ type SnapshotpureConfig struct {
 // sink set because arena counters describe this process's execution —
 // a resumed run starts with an empty pool — which is exactly the kind
 // of state the contract excludes; PublishArenaStats stays a sanctioned
-// opt-in because it is not reachable from any root.
+// opt-in because it is not reachable from any root. obs.Ops is a sink
+// for the same reason: it hands out the process-wide wall-clock
+// operational registry (request latencies, queue gauges), which must
+// stay reachable only from serving paths, never from anything that
+// encodes resume-deterministic output.
 func DefaultSnapshotpureConfig() SnapshotpureConfig {
 	return SnapshotpureConfig{
 		Roots: []string{
@@ -41,6 +45,7 @@ func DefaultSnapshotpureConfig() SnapshotpureConfig {
 		},
 		Sinks: []string{
 			"(*ffsage/internal/ffs.FileSystem).PoolStats",
+			"ffsage/internal/obs.Ops",
 		},
 	}
 }

@@ -74,11 +74,20 @@ type pool struct{ hits int }
 
 func (p *pool) Stats() int { return p.hits }
 
-// ReadSnapshot is the second root; reading the sink inside its closure
-// is the violation.
+// Ops mirrors the real repo's operational-registry accessor: a
+// package-level function configured as a sink by its plain function
+// key (not a method key like (*pool).Stats).
+func Ops() *pool { return &opsState }
+
+var opsState pool
+
+// ReadSnapshot is the second root; reading either sink form inside its
+// closure is the violation.
 func ReadSnapshot(r io.Reader, p *pool) error {
 	n := p.Stats() // want `\(\*snapshotpure/snap\.pool\)\.Stats reads process-local state that differs under resume`
 	_ = n
+	o := Ops() // want `snapshotpure/snap\.Ops reads process-local state that differs under resume`
+	_ = o
 	return nil
 }
 

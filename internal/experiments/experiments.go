@@ -343,8 +343,62 @@ func (s *Suite) Fig4() (*Fig4Data, error) {
 		// indexed by size, so this aggregation order is fixed.
 		disk.PublishStats(s.Cfg.Obs.Scope("disk.fig4.ffs"), AggregateSeqStats(orig))
 		disk.PublishStats(s.Cfg.Obs.Scope("disk.fig4.realloc"), AggregateSeqStats(re))
+		publishSweepSpans(s.Cfg.Obs.Scope("disk.fig4.ffs"), "sweep", seqSplits(orig))
+		publishSweepSpans(s.Cfg.Obs.Scope("disk.fig4.realloc"), "sweep", seqSplits(re))
 	}
 	return s.fig4, nil
+}
+
+// seqSplits flattens a sweep into the span publisher's point shape.
+func seqSplits(rs []bench.SeqResult) []spanPoint {
+	pts := make([]spanPoint, len(rs))
+	for i, r := range rs {
+		pts[i] = spanPoint{
+			name:  "point",
+			attrs: []obs.Attr{obs.I("size", r.FileSize), obs.F("read_bps", r.ReadBps), obs.F("write_bps", r.WriteBps)},
+			stats: r.Disk,
+		}
+	}
+	return pts
+}
+
+// spanPoint is one top-level unit of a benchmark's span timeline.
+type spanPoint struct {
+	name  string
+	attrs []obs.Attr
+	stats disk.Stats
+}
+
+// publishSweepSpans renders a benchmark's disk accounting as a span
+// hierarchy on "<scope>.spans", time in simulated disk seconds laid
+// end to end: one root span for the whole run, one span per point, and
+// one child span per request class whose width is exactly the seconds
+// the attribution matrix charges that class — so the root's length
+// equals the disk model's total service time bit for bit. Everything
+// is a pure function of the memoized results, published once in point
+// order, keeping the stream byte-identical across worker counts and
+// crash/resume.
+func publishSweepSpans(sc *obs.Scope, root string, pts []spanPoint) {
+	tr := sc.SpanTracer("spans")
+	tr.Start(0, root, obs.I("points", int64(len(pts))))
+	t := 0.0
+	for _, p := range pts {
+		tr.Start(t, p.name, p.attrs...)
+		for c := disk.ReqClass(0); c < disk.NumReqClasses; c++ {
+			ts := p.stats.Attr.Class(c)
+			if ts.Count == 0 {
+				continue
+			}
+			tr.Start(t, disk.ClassLabel(c),
+				obs.I("requests", ts.Count),
+				obs.F("seek_s", ts.Seek), obs.F("rot_s", ts.Rot),
+				obs.F("xfer_s", ts.Transfer), obs.F("ovhd_s", ts.Overhead))
+			t += ts.Total()
+			tr.End(t)
+		}
+		tr.End(t)
+	}
+	tr.End(t, obs.F("total_s", t))
 }
 
 // AggregateSeqStats folds a sweep's per-point disk accounting into one
@@ -380,8 +434,24 @@ func (s *Suite) Table2() (orig, realloc bench.HotResult, err error) {
 	if err == nil && s.Cfg.Obs != nil {
 		disk.PublishStats(s.Cfg.Obs.Scope("disk.table2.ffs"), orig.Disk)
 		disk.PublishStats(s.Cfg.Obs.Scope("disk.table2.realloc"), realloc.Disk)
+		publishSweepSpans(s.Cfg.Obs.Scope("disk.table2.ffs"), "hotfiles", hotSplits(orig))
+		publishSweepSpans(s.Cfg.Obs.Scope("disk.table2.realloc"), "hotfiles", hotSplits(realloc))
 	}
 	return
+}
+
+// hotSplits adapts the hot-file benchmark to the span publisher: one
+// point covering the whole run.
+func hotSplits(r bench.HotResult) []spanPoint {
+	return []spanPoint{{
+		name: "hot",
+		attrs: []obs.Attr{
+			obs.I("files", int64(r.NFiles)),
+			obs.I("bytes", r.TotalBytes),
+			obs.F("read_bps", r.ReadBps), obs.F("write_bps", r.WriteBps),
+		},
+		stats: r.Disk,
+	}}
 }
 
 // Fig6 returns the hot files' layout by size on both images (the

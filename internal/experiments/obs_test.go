@@ -30,8 +30,8 @@ func tinyCfg(seed int64) Config {
 }
 
 // obsSnapshot builds the tiny suite with the given worker bound on a
-// cold cache and returns the metrics and events dumps.
-func obsSnapshot(t *testing.T, workers int) (metrics, events string) {
+// cold cache and returns the metrics, events, and span dumps.
+func obsSnapshot(t *testing.T, workers int) (metrics, events, spans string) {
 	t.Helper()
 	ResetCaches()
 	runner.SetWorkers(workers)
@@ -49,14 +49,17 @@ func obsSnapshot(t *testing.T, workers int) (metrics, events string) {
 	if _, _, err := s.Table2(); err != nil {
 		t.Fatal(err)
 	}
-	var m, e bytes.Buffer
+	var m, e, sb bytes.Buffer
 	if err := reg.WriteMetrics(&m); err != nil {
 		t.Fatal(err)
 	}
 	if err := reg.WriteEvents(&e); err != nil {
 		t.Fatal(err)
 	}
-	return m.String(), e.String()
+	if err := reg.WriteSpans(&sb); err != nil {
+		t.Fatal(err)
+	}
+	return m.String(), e.String(), sb.String()
 }
 
 // TestMetricsIdenticalAcrossWorkers is the -j differential: the full
@@ -65,13 +68,16 @@ func obsSnapshot(t *testing.T, workers int) (metrics, events string) {
 // float-bearing metric has a single writer publishing in a fixed
 // sequential order, so scheduling must not leak into the output.
 func TestMetricsIdenticalAcrossWorkers(t *testing.T) {
-	m1, e1 := obsSnapshot(t, 1)
-	m8, e8 := obsSnapshot(t, 8)
+	m1, e1, s1 := obsSnapshot(t, 1)
+	m8, e8, s8 := obsSnapshot(t, 8)
 	if m1 != m8 {
 		t.Errorf("metrics differ between -j1 and -j8\n-j1:\n%s\n-j8:\n%s", m1, m8)
 	}
 	if e1 != e8 {
 		t.Errorf("events differ between -j1 and -j8\n-j1:\n%s\n-j8:\n%s", e1, e8)
+	}
+	if s1 != s8 {
+		t.Errorf("spans differ between -j1 and -j8\n-j1:\n%s\n-j8:\n%s", s1, s8)
 	}
 	// Guard against vacuous success: the snapshot must actually carry
 	// the aging summaries and the benchmark disk attribution.
@@ -88,6 +94,20 @@ func TestMetricsIdenticalAcrossWorkers(t *testing.T) {
 	}
 	if !strings.Contains(e1, `"stream":"aging.age-ffs.days"`) {
 		t.Error("events missing per-day stream")
+	}
+	// Same guard for spans: every arm and benchmark must contribute a
+	// stream, with the expected roots.
+	for _, want := range []string{
+		`"stream":"aging.age-ffs.spans"`,
+		`"span":"replay"`,
+		`"stream":"disk.fig4.realloc.spans"`,
+		`"span":"sweep"`,
+		`"stream":"disk.table2.ffs.spans"`,
+		`"span":"hotfiles"`,
+	} {
+		if !strings.Contains(s1, want) {
+			t.Errorf("span dump missing %s", want)
+		}
 	}
 }
 

@@ -5,6 +5,9 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -203,6 +206,227 @@ func TestAPIResultForUnresolvedJobs(t *testing.T) {
 	}
 	if !strings.Contains(body, CauseTimeout) {
 		t.Fatalf("410 body does not carry the typed cause: %s", body)
+	}
+}
+
+// TestAPISpansAndImage covers the artifact endpoints added with the
+// span tracer: /spans serves the persisted span stream, /image streams
+// the aged image with honest headers, and both follow /result's state
+// semantics (404 while unresolved, 410 once dead).
+func TestAPISpansAndImage(t *testing.T) {
+	m, srv := newTestServer(t, fastOpts(t.TempDir()))
+
+	resp := postJSON(t, srv.URL+"/jobs", `{"id":"art","days":4,"seed":42}`)
+	readBody(t, resp)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("submit: %d", resp.StatusCode)
+	}
+	waitState(t, m.Queue(), "art", queue.Done)
+
+	resp, err := http.Get(srv.URL + "/jobs/art/spans")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := readBody(t, resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("spans: %d %s", resp.StatusCode, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("spans Content-Type = %q", ct)
+	}
+	if !strings.Contains(body, `"header":"spans"`) || !strings.Contains(body, `"span":"replay"`) {
+		t.Errorf("span stream incomplete:\n%.400s", body)
+	}
+	// The served stream is the artifact byte for byte.
+	disk, err := os.ReadFile(filepath.Join(m.jobDir("art"), "spans.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body != string(disk) {
+		t.Error("served spans differ from the spans.jsonl artifact")
+	}
+
+	resp, err = http.Get(srv.URL + "/jobs/art/image")
+	if err != nil {
+		t.Fatal(err)
+	}
+	img := readBody(t, resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("image: %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/octet-stream" {
+		t.Errorf("image Content-Type = %q", ct)
+	}
+	if cl := resp.Header.Get("Content-Length"); cl != strconv.Itoa(len(img)) {
+		t.Errorf("Content-Length %s, body %d bytes", cl, len(img))
+	}
+	wantImg, err := os.ReadFile(filepath.Join(m.jobDir("art"), "image.ffi"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img != string(wantImg) {
+		t.Error("served image differs from the image.ffi artifact")
+	}
+
+	for _, ep := range []string{"/jobs/ghost/spans", "/jobs/ghost/image"} {
+		resp, err := http.Get(srv.URL + ep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if body := readBody(t, resp); resp.StatusCode != http.StatusNotFound {
+			t.Errorf("%s: %d %s", ep, resp.StatusCode, body)
+		}
+	}
+}
+
+// TestAPIOperationalSurface exercises /healthz, /readyz, /metrics, and
+// the request-id middleware against a serving Manager.
+func TestAPIOperationalSurface(t *testing.T) {
+	opts := fastOpts(t.TempDir())
+	m, srv := newTestServer(t, opts)
+
+	for _, ep := range []string{"/healthz", "/readyz"} {
+		resp, err := http.Get(srv.URL + ep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body := readBody(t, resp)
+		if resp.StatusCode != http.StatusOK || !strings.Contains(body, "ok") {
+			t.Fatalf("%s: %d %s", ep, resp.StatusCode, body)
+		}
+		if resp.Header.Get("X-Request-Id") == "" {
+			t.Errorf("%s response missing X-Request-Id", ep)
+		}
+	}
+
+	// A caller-chosen request id is echoed back.
+	req, _ := http.NewRequest("GET", srv.URL+"/healthz", nil)
+	req.Header.Set("X-Request-Id", "trace-me-7")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	readBody(t, resp)
+	if got := resp.Header.Get("X-Request-Id"); got != "trace-me-7" {
+		t.Errorf("X-Request-Id = %q, want echo", got)
+	}
+
+	resp = postJSON(t, srv.URL+"/jobs", `{"id":"opsjob","days":4,"seed":42}`)
+	readBody(t, resp)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("submit: %d", resp.StatusCode)
+	}
+	waitState(t, m.Queue(), "opsjob", queue.Done)
+
+	resp, err = http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := readBody(t, resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics: %d %s", resp.StatusCode, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("/metrics Content-Type = %q", ct)
+	}
+	for _, want := range []string{
+		"# TYPE agesrv_jobs_submitted_total counter",
+		"agesrv_jobs_submitted_total 1",
+		"# TYPE agesrv_queue_depth gauge",
+		`agesrv_jobs{state="done"} 1`,
+		`agesrv_http_requests_total{path="/jobs",code="201"} 1`,
+		"agesrv_http_request_seconds_bucket{path=",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q in:\n%s", want, body)
+		}
+	}
+	// Every line must parse as exposition format: comment or
+	// name{labels} value.
+	for _, line := range strings.Split(strings.TrimSpace(body), "\n") {
+		if strings.HasPrefix(line, "# ") {
+			continue
+		}
+		if i := strings.LastIndexByte(line, ' '); i < 0 || i == len(line)-1 {
+			t.Errorf("malformed exposition line %q", line)
+		}
+	}
+
+	// Readiness flips once the manager starts draining.
+	m.Close()
+	resp, err = http.Get(srv.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body = readBody(t, resp)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz after Close: %d %s", resp.StatusCode, body)
+	}
+	if resp2, err := http.Get(srv.URL + "/healthz"); err == nil {
+		if readBody(t, resp2); resp2.StatusCode != http.StatusOK {
+			t.Errorf("/healthz after Close: %d", resp2.StatusCode)
+		}
+	}
+}
+
+// TestAPIReadyzReportsWedgedQueue points readiness at the queue's Err:
+// a WAL that can no longer append must turn the daemon unready.
+func TestAPIReadyzReportsWedgedQueue(t *testing.T) {
+	dir := t.TempDir()
+	wal, err := queue.Open(filepath.Join(dir, "queue.wal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := fastOpts(dir)
+	opts.Queue = wal
+	_, srv := newTestServer(t, opts)
+
+	resp, err := http.Get(srv.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if readBody(t, resp); resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthy WAL: %d", resp.StatusCode)
+	}
+
+	// Close the log file out from under the queue: the next append
+	// fails and wedges it.
+	wal.Close()
+	resp, err = http.Get(srv.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := readBody(t, resp)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("wedged WAL: %d %s", resp.StatusCode, body)
+	}
+	if !strings.Contains(body, "queue unwritable") {
+		t.Errorf("503 body %q does not name the queue", body)
+	}
+}
+
+// TestRouteLabelBoundsCardinality pins the label normalizer: path
+// parameters collapse, junk collapses to "other".
+func TestRouteLabelBoundsCardinality(t *testing.T) {
+	for path, want := range map[string]string{
+		"/jobs":                     "/jobs",
+		"/jobs/job-000001":          "/jobs/{id}",
+		"/jobs/job-000001/result":   "/jobs/{id}/result",
+		"/jobs/x/spans":             "/jobs/{id}/spans",
+		"/jobs/x/image":             "/jobs/{id}/image",
+		"/jobs/x/events":            "/jobs/{id}/events",
+		"/jobs/x/steal":             "other",
+		"/metrics":                  "/metrics",
+		"/healthz":                  "/healthz",
+		"/readyz":                   "/readyz",
+		"/debug/pprof/heap":         "/debug/pprof",
+		"/totally/random/path":      "other",
+		"/jobs/../../../etc/passwd": "other",
+	} {
+		r := httptest.NewRequest("GET", "http://x"+path, nil)
+		if got := routeLabel(r); got != want {
+			t.Errorf("routeLabel(%s) = %q, want %q", path, got, want)
+		}
 	}
 }
 

@@ -11,6 +11,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ffsage/internal/aging"
@@ -70,6 +71,13 @@ type Options struct {
 	OnCrash func(id string, c *faults.Crash)
 	// Logf receives operational log lines (default: discarded).
 	Logf func(format string, args ...any)
+	// Ops receives wall-clock operational telemetry: lifecycle counters
+	// (submitted/shed/retried/dead/completed/recovered jobs) that the
+	// daemon's /metrics endpoint exposes. Defaults to obs.Ops(), the
+	// process-wide operational registry; tests pass a fresh one. This
+	// registry is deliberately unreachable from checkpoint and artifact
+	// paths — ffsvet's snapshotpure analyzer enforces the split.
+	Ops *obs.Registry
 }
 
 // Manager owns the daemon's job lifecycle: it recovers and resumes
@@ -80,6 +88,7 @@ type Manager struct {
 	opts Options
 	q    queue.Queue
 	dir  string
+	ops  *obs.Registry
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -92,6 +101,8 @@ type Manager struct {
 
 	liveMu sync.Mutex
 	live   map[string]*obs.Registry
+
+	reqID atomic.Int64 // HTTP middleware's request-id generator
 
 	closeOnce sync.Once
 	closeErr  error
@@ -117,6 +128,9 @@ func Open(opts Options) (*Manager, error) {
 	if opts.Logf == nil {
 		opts.Logf = func(string, ...any) {}
 	}
+	if opts.Ops == nil {
+		opts.Ops = obs.Ops()
+	}
 	if err := os.MkdirAll(filepath.Join(opts.Dir, "jobs"), 0o755); err != nil {
 		return nil, fmt.Errorf("jobs: state dir: %w", err)
 	}
@@ -133,6 +147,7 @@ func Open(opts Options) (*Manager, error) {
 		opts:         opts,
 		q:            q,
 		dir:          opts.Dir,
+		ops:          opts.Ops,
 		ctx:          ctx,
 		cancel:       cancel,
 		pool:         runner.NewWithWorkers(ctx, opts.Workers),
@@ -148,6 +163,7 @@ func Open(opts Options) (*Manager, error) {
 	resume := q.Running()
 	if n := len(resume); n > 0 {
 		m.opts.Logf("jobs: recovering %d in-flight job(s)", n)
+		m.ops.Counter("agesrv_jobs_recovered_total").Add(int64(n))
 	}
 	go func() {
 		defer close(m.resumeDone)
@@ -174,6 +190,7 @@ func (m *Manager) Submit(sp *Spec) (string, error) {
 		return "", err
 	}
 	if m.q.Depth() >= m.opts.MaxPending {
+		m.ops.Counter("agesrv_jobs_shed_total").Inc()
 		return "", fmt.Errorf("%w (%d pending)", ErrBusy, m.q.Depth())
 	}
 	if sp.ID == "" {
@@ -186,6 +203,7 @@ func (m *Manager) Submit(sp *Spec) (string, error) {
 	if err := m.q.Enqueue(sp.ID, b); err != nil {
 		return "", err
 	}
+	m.ops.Counter("agesrv_jobs_submitted_total").Inc()
 	m.wakeUp()
 	return sp.ID, nil
 }
@@ -311,6 +329,7 @@ func (m *Manager) run(ctx context.Context, rec queue.Record, resumed bool) {
 			m.opts.OnCrash(rec.ID, crash)
 		}
 	case err == nil:
+		m.ops.Counter("agesrv_jobs_completed_total").Inc()
 		if aerr := m.q.Ack(rec.ID); aerr != nil {
 			m.opts.Logf("jobs: acking %s: %v", rec.ID, aerr)
 		}
@@ -354,12 +373,14 @@ func (m *Manager) retryOrBury(rec queue.Record, sp *Spec, cause string) {
 		m.opts.Logf("jobs: nacking %s: %v", rec.ID, err)
 		return
 	}
+	m.ops.Counter("agesrv_jobs_retried_total").Inc()
 	m.wakeUp()
 }
 
 // bury dead-letters a job with its typed cause.
 func (m *Manager) bury(id, cause string) {
 	m.opts.Logf("jobs: burying %s: %s", id, cause)
+	m.ops.Counter("agesrv_jobs_dead_total").Inc()
 	if err := m.q.Bury(id, cause); err != nil {
 		m.opts.Logf("jobs: burying %s: %v", id, err)
 	}
@@ -458,19 +479,22 @@ type Result struct {
 }
 
 // writeArtifacts persists a finished job: the aged image, the
-// deterministic metrics and events snapshots (aging.PublishResult into
-// a fresh registry — the resume-safe view), and last the result.json
+// deterministic metrics, events, and span snapshots (aging.PublishResult
+// into a fresh registry — the resume-safe view), and last the result.json
 // summary, whose presence marks the artifact set complete. All writes
 // are atomic renames, and the whole set is rewritten identically if the
 // process dies between writing artifacts and acking the job.
 func (m *Manager) writeArtifacts(jdir string, sp *Spec, res *aging.Result, wl *trace.Workload) error {
 	areg := obs.NewRegistry()
 	aging.PublishResult(areg.Scope("job"), res, wl)
-	var ev, met, img bytes.Buffer
+	var ev, met, sps, img bytes.Buffer
 	if err := areg.WriteEvents(&ev); err != nil {
 		return err
 	}
 	if err := areg.WriteMetrics(&met); err != nil {
+		return err
+	}
+	if err := areg.WriteSpans(&sps); err != nil {
 		return err
 	}
 	if err := res.Fs.SaveImage(&img); err != nil {
@@ -504,6 +528,7 @@ func (m *Manager) writeArtifacts(jdir string, sp *Spec, res *aging.Result, wl *t
 		{"image.ffi", img.Bytes()},
 		{"events.jsonl", ev.Bytes()},
 		{"metrics.txt", met.Bytes()},
+		{"spans.jsonl", sps.Bytes()},
 		{"result.json", rj},
 	} {
 		if err := writeAtomic(filepath.Join(jdir, f.name), f.data); err != nil {

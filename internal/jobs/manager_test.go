@@ -9,11 +9,14 @@ import (
 	"testing"
 	"time"
 
+	"ffsage/internal/obs"
 	"ffsage/internal/queue"
 )
 
 // fastOpts returns Manager options tuned for tests: tight polling and
 // near-zero backoff so retries and dispatch latency do not dominate.
+// Each test gets a private operational registry so assertions on
+// lifecycle counters never see another test's traffic.
 func fastOpts(dir string) Options {
 	return Options{
 		Dir:         dir,
@@ -21,6 +24,7 @@ func fastOpts(dir string) Options {
 		Poll:        2 * time.Millisecond,
 		BackoffBase: time.Millisecond,
 		BackoffMax:  4 * time.Millisecond,
+		Ops:         obs.NewRegistry(),
 	}
 }
 
@@ -50,7 +54,7 @@ func waitState(t *testing.T, q queue.Queue, id string, want queue.State) queue.R
 }
 
 // artifactNames is the complete artifact set of a Done job.
-var artifactNames = [...]string{"result.json", "events.jsonl", "metrics.txt", "image.ffi"}
+var artifactNames = [...]string{"result.json", "events.jsonl", "metrics.txt", "spans.jsonl", "image.ffi"}
 
 // readArtifacts returns the job's artifact files by name.
 func readArtifacts(t *testing.T, dir, id string) map[string][]byte {

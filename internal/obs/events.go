@@ -131,10 +131,11 @@ func (t *Tracer) Events() []Event {
 }
 
 // WriteEvents writes every stream's buffered events as JSONL: streams
-// in sorted name order, events oldest first, attributes in emission
-// order. A stream that evicted events announces it with one leading
-// "drops" record so a truncated trace is never mistaken for a complete
-// one.
+// in sorted name order, each led by one header record carrying the
+// stream's retained and dropped counts, then its events oldest first
+// with attributes in emission order. The header makes a ring-truncated
+// trace detectable — dropped is the exact eviction count, never
+// silently omitted.
 func (r *Registry) WriteEvents(w io.Writer) error {
 	r.mu.Lock()
 	names := make([]string, 0, len(r.tracers))
@@ -151,9 +152,8 @@ func (r *Registry) WriteEvents(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	for _, name := range names {
 		t := byName[name]
-		if d := t.Dropped(); d > 0 {
-			fmt.Fprintf(bw, `{"stream":%s,"event":"drops","dropped":%d}`+"\n", jsonString(name), d)
-		}
+		fmt.Fprintf(bw, `{"stream":%s,"header":"events","events":%d,"dropped":%d}`+"\n",
+			jsonString(name), t.Len(), t.Dropped())
 		for _, ev := range t.Events() {
 			writeEventJSON(bw, name, ev)
 		}

@@ -145,6 +145,7 @@ type Registry struct {
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
 	tracers  map[string]*Tracer
+	spans    map[string]*SpanTracer
 
 	jobsMu sync.Mutex
 	jobsOn bool
@@ -158,6 +159,7 @@ func NewRegistry() *Registry {
 		gauges:   map[string]*Gauge{},
 		hists:    map[string]*Histogram{},
 		tracers:  map[string]*Tracer{},
+		spans:    map[string]*SpanTracer{},
 	}
 }
 

@@ -121,8 +121,24 @@ func TestTracerRingDropsOldest(t *testing.T) {
 	if err := r.WriteEvents(&buf); err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(buf.String(), `"event":"drops","dropped":2`) {
-		t.Errorf("missing drops record: %q", buf.String())
+	if !strings.Contains(buf.String(), `{"stream":"s","header":"events","events":3,"dropped":2}`) {
+		t.Errorf("missing header record with drop count: %q", buf.String())
+	}
+}
+
+// TestEventsHeaderAlwaysPresent pins the satellite contract: every
+// stream's JSONL dump leads with a header line even when nothing was
+// dropped, so consumers can always distinguish "complete" from
+// "truncated" without guessing.
+func TestEventsHeaderAlwaysPresent(t *testing.T) {
+	r := NewRegistry()
+	r.Tracer("clean").Emit(1, "e")
+	var buf bytes.Buffer
+	if err := r.WriteEvents(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), `{"stream":"clean","header":"events","events":1,"dropped":0}`) {
+		t.Errorf("missing zero-drop header: %q", buf.String())
 	}
 }
 
@@ -140,6 +156,9 @@ func TestEventsAreValidJSON(t *testing.T) {
 		var m map[string]any
 		if err := json.Unmarshal([]byte(line), &m); err != nil {
 			t.Fatalf("invalid JSON %q: %v", line, err)
+		}
+		if m["header"] != nil {
+			continue
 		}
 		if m["s"] != "a\"b\\c\nd\tߜ" {
 			t.Errorf("string attr round-trip: %q", m["s"])

@@ -1,0 +1,17 @@
+package obs
+
+// ops is the process-wide operational registry, split off from Default
+// on purpose: Default carries the deterministic, simulated-time domain
+// (what WriteMetrics / WriteEvents / WriteSpans snapshot), while ops
+// carries wall-clock serving telemetry — request latencies, queue
+// depths, retry counts — that legitimately differs run to run. The two
+// must never mix: nothing reachable from a checkpoint, image, or
+// resume-safe publish path may touch ops, a reachability property the
+// ffsvet snapshotpure analyzer enforces by listing Ops as a sink.
+var ops = NewRegistry()
+
+// Ops returns the process-wide operational registry. Serving paths (the
+// jobs HTTP layer, the runner's wall telemetry) write here and the
+// Prometheus exposition endpoint reads it; deterministic snapshot code
+// must not.
+func Ops() *Registry { return ops }

@@ -1,0 +1,138 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// WritePrometheus renders the registry in the Prometheus text
+// exposition format (version 0.0.4). It is the serving-side sibling of
+// WriteMetrics, meant for the operational registry behind GET /metrics;
+// nothing stops it rendering a deterministic registry, but exposition
+// conventions (cumulative buckets, _total suffixes) are tuned for
+// scrapers, not for byte-diffing.
+//
+// Metric names may carry a label set in curly braces, e.g.
+//
+//	agesrv_http_requests_total{path="/jobs",code="200"}
+//
+// the renderer splits the name at the first brace, groups series by
+// base name under one # TYPE line, and emits them in sorted order.
+// Characters outside [a-zA-Z0-9_:] in the base name become underscores.
+// Histograms are exported with cumulative bucket counts; by convention
+// their writers observe with weight == value (Observe(x, x)), so the
+// exported _sum is the total of observed values as Prometheus expects.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	type series struct {
+		base, labels, kind string
+		render             func(bw *bufio.Writer, base, labels string)
+	}
+	var all []series
+	add := func(name, kind string, render func(bw *bufio.Writer, base, labels string)) {
+		base, labels := splitLabels(name)
+		all = append(all, series{promName(base), labels, kind, render})
+	}
+
+	r.mu.Lock()
+	for _, name := range sortedNames(r.counters) {
+		v := r.counters[name].Value()
+		add(name, "counter", func(bw *bufio.Writer, base, labels string) {
+			fmt.Fprintf(bw, "%s%s %d\n", base, labels, v)
+		})
+	}
+	for _, name := range sortedNames(r.gauges) {
+		v := r.gauges[name].Value()
+		add(name, "gauge", func(bw *bufio.Writer, base, labels string) {
+			fmt.Fprintf(bw, "%s%s %s\n", base, labels, formatFloat(v))
+		})
+	}
+	for _, name := range sortedNames(r.hists) {
+		h := r.hists[name]
+		h.mu.Lock()
+		bounds := append([]float64(nil), h.bounds...)
+		counts := append([]int64(nil), h.counts...)
+		sums := append([]float64(nil), h.sums...)
+		h.mu.Unlock()
+		add(name, "histogram", func(bw *bufio.Writer, base, labels string) {
+			var cum int64
+			var sum float64
+			for i, c := range counts {
+				cum += c
+				sum += sums[i]
+				ub := "+Inf"
+				if i < len(bounds) {
+					ub = formatFloat(bounds[i])
+				}
+				fmt.Fprintf(bw, "%s_bucket%s %d\n", base, withLabel(labels, "le", ub), cum)
+			}
+			fmt.Fprintf(bw, "%s_sum%s %s\n", base, labels, formatFloat(sum))
+			fmt.Fprintf(bw, "%s_count%s %d\n", base, labels, cum)
+		})
+	}
+	r.mu.Unlock()
+
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].base != all[j].base {
+			return all[i].base < all[j].base
+		}
+		return all[i].labels < all[j].labels
+	})
+	bw := bufio.NewWriter(w)
+	lastBase := ""
+	for _, s := range all {
+		if s.base != lastBase {
+			fmt.Fprintf(bw, "# TYPE %s %s\n", s.base, s.kind)
+			lastBase = s.base
+		}
+		s.render(bw, s.base, s.labels)
+	}
+	return bw.Flush()
+}
+
+// sortedNames returns a map's keys in sorted order, so series creation
+// (and with it closure evaluation order) never follows map iteration.
+func sortedNames[V any](m map[string]V) []string {
+	names := make([]string, 0, len(m))
+	for name := range m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// splitLabels separates "name{a=\"b\"}" into name and its brace suffix.
+func splitLabels(name string) (base, labels string) {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i], name[i:]
+	}
+	return name, ""
+}
+
+// withLabel inserts one more label pair into an existing (possibly
+// empty) label set.
+func withLabel(labels, key, val string) string {
+	pair := fmt.Sprintf("%s=%q", key, val)
+	if labels == "" {
+		return "{" + pair + "}"
+	}
+	return strings.TrimSuffix(labels, "}") + "," + pair + "}"
+}
+
+// promName maps a metric name onto the Prometheus identifier charset.
+func promName(name string) string {
+	var b strings.Builder
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+			b.WriteRune(r)
+		case r >= '0' && r <= '9' && i > 0:
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,272 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// SpanID identifies a span within its stream. IDs are assigned
+// sequentially from 1 in Start order, so they are deterministic for any
+// deterministic emission sequence; 0 means "no parent" (a root span).
+type SpanID int64
+
+// Span is one completed interval of simulated time. Like Event.T, the
+// unit of Start/End is the stream's choice (the aging streams use days,
+// the disk streams seconds); it is never wall-clock. Parent links spans
+// into a hierarchy: a span started while another span of the same
+// stream was open becomes its child.
+type Span struct {
+	ID     SpanID
+	Parent SpanID
+	Name   string
+	Start  float64
+	End    float64
+	Attrs  []Attr
+}
+
+// SpanTracer is one bounded stream of hierarchical spans: Start pushes
+// an open span (child of the innermost still-open one), End closes the
+// innermost and records it in a ring that keeps the most recent cap
+// completed spans, counting evictions exactly like Tracer. Spans are
+// recorded in End order — the deterministic emission order — and a
+// retained span may reference a parent the ring has since evicted;
+// Dropped says how many are missing.
+//
+// Start and End reuse the ring's and the open stack's attribute
+// storage, so steady-state emission allocates nothing — the property
+// the span.emit benchmark pins.
+type SpanTracer struct {
+	name string
+
+	mu      sync.Mutex
+	cap     int
+	nextID  int64
+	dropped int64
+	ring    []Span
+	start   int // index of the oldest span in ring once full
+	open    []Span
+}
+
+// SpanTracer returns (creating if needed) the named span stream with
+// the default ring capacity.
+func (r *Registry) SpanTracer(name string) *SpanTracer { return r.SpanTracerCap(name, DefaultRingCap) }
+
+// SpanTracerCap is SpanTracer with an explicit ring capacity for new
+// streams; an existing stream keeps its capacity.
+func (r *Registry) SpanTracerCap(name string, cap int) *SpanTracer {
+	if cap < 1 {
+		cap = 1
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t := r.spans[name]
+	if t == nil {
+		t = &SpanTracer{name: name, cap: cap}
+		r.spans[name] = t
+	}
+	return t
+}
+
+// SpanTracer returns the scoped span stream.
+func (s *Scope) SpanTracer(name string) *SpanTracer { return s.r.SpanTracer(s.full(name)) }
+
+// SpanTracerCap returns the scoped span stream with an explicit ring
+// capacity.
+func (s *Scope) SpanTracerCap(name string, cap int) *SpanTracer {
+	return s.r.SpanTracerCap(s.full(name), cap)
+}
+
+// Name returns the stream name.
+func (t *SpanTracer) Name() string { return t.name }
+
+// Start opens a span at simulated time simT, child of the innermost
+// open span, and returns its ID.
+func (t *SpanTracer) Start(simT float64, name string, attrs ...Attr) SpanID {
+	t.mu.Lock()
+	t.nextID++
+	id := SpanID(t.nextID)
+	var parent SpanID
+	if n := len(t.open); n > 0 {
+		parent = t.open[n-1].ID
+	}
+	// Reuse a popped slot's attribute storage instead of appending a
+	// fresh Span value over it.
+	if len(t.open) < cap(t.open) {
+		t.open = t.open[:len(t.open)+1]
+	} else {
+		t.open = append(t.open, Span{})
+	}
+	sp := &t.open[len(t.open)-1]
+	sp.ID, sp.Parent, sp.Name, sp.Start, sp.End = id, parent, name, simT, simT
+	sp.Attrs = append(sp.Attrs[:0], attrs...)
+	t.mu.Unlock()
+	return id
+}
+
+// End closes the innermost open span at simT, appends any extra
+// attributes, and records it. A stray End with no span open is a no-op.
+func (t *SpanTracer) End(simT float64, attrs ...Attr) {
+	t.mu.Lock()
+	n := len(t.open)
+	if n == 0 {
+		t.mu.Unlock()
+		return
+	}
+	sp := &t.open[n-1]
+	sp.End = simT
+	sp.Attrs = append(sp.Attrs, attrs...)
+	t.record(sp)
+	// Pop but keep the slot (and its Attrs backing) for the next Start.
+	t.open = t.open[:n-1]
+	t.mu.Unlock()
+}
+
+// record copies *sp into the ring, evicting the oldest span when full.
+func (t *SpanTracer) record(sp *Span) {
+	var dst *Span
+	if len(t.ring) < t.cap {
+		if len(t.ring) < cap(t.ring) {
+			t.ring = t.ring[:len(t.ring)+1]
+		} else {
+			t.ring = append(t.ring, Span{})
+		}
+		dst = &t.ring[len(t.ring)-1]
+	} else {
+		dst = &t.ring[t.start]
+		t.start = (t.start + 1) % t.cap
+		t.dropped++
+	}
+	dst.ID, dst.Parent, dst.Name, dst.Start, dst.End = sp.ID, sp.Parent, sp.Name, sp.Start, sp.End
+	dst.Attrs = append(dst.Attrs[:0], sp.Attrs...)
+}
+
+// Len returns the number of buffered completed spans.
+func (t *SpanTracer) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.ring)
+}
+
+// OpenDepth returns the number of started-but-unfinished spans.
+func (t *SpanTracer) OpenDepth() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.open)
+}
+
+// Dropped returns how many completed spans the ring has evicted.
+func (t *SpanTracer) Dropped() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// Spans returns copies of the buffered spans, oldest first. The copies
+// own their attribute slices, so callers may hold them across further
+// emission.
+func (t *SpanTracer) Spans() []Span {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Span, 0, len(t.ring))
+	for _, src := range append(append([]Span(nil), t.ring[t.start:]...), t.ring[:t.start]...) {
+		src.Attrs = append([]Attr(nil), src.Attrs...)
+		out = append(out, src)
+	}
+	return out
+}
+
+// spanStreams returns the registry's span streams sorted by name.
+func (r *Registry) spanStreams() []*SpanTracer {
+	r.mu.Lock()
+	ts := make([]*SpanTracer, 0, len(r.spans))
+	for _, t := range r.spans {
+		ts = append(ts, t)
+	}
+	r.mu.Unlock()
+	sort.Slice(ts, func(i, j int) bool { return ts[i].name < ts[j].name })
+	return ts
+}
+
+// WriteSpans writes every span stream as JSONL: streams in sorted name
+// order, each led by one header record carrying the stream's retained
+// and dropped counts (so a ring-truncated trace is detectable, never
+// silently short), then its spans oldest first. Output is deterministic
+// for deterministic emission: same spans, same IDs, same bytes.
+func (r *Registry) WriteSpans(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, t := range r.spanStreams() {
+		t.mu.Lock()
+		fmt.Fprintf(bw, `{"stream":%s,"header":"spans","spans":%d,"dropped":%d}`+"\n",
+			jsonString(t.name), len(t.ring), t.dropped)
+		for i := 0; i < len(t.ring); i++ {
+			writeSpanJSON(bw, t.name, &t.ring[(t.start+i)%len(t.ring)])
+		}
+		t.mu.Unlock()
+	}
+	return bw.Flush()
+}
+
+func writeSpanJSON(w *bufio.Writer, stream string, sp *Span) {
+	fmt.Fprintf(w, `{"stream":%s,"id":%d,"parent":%d,"span":%s,"start":%s,"end":%s`,
+		jsonString(stream), sp.ID, sp.Parent, jsonString(sp.Name),
+		formatFloat(sp.Start), formatFloat(sp.End))
+	for _, a := range sp.Attrs {
+		w.WriteByte(',')
+		w.WriteString(jsonString(a.Key))
+		w.WriteByte(':')
+		writeAttrValue(w, a.Value)
+	}
+	w.WriteString("}\n")
+}
+
+// WriteChromeTrace exports every span stream as one Chrome trace-event
+// JSON document (the format chrome://tracing and Perfetto load): one
+// complete ("X") event per span, one thread per stream, simulated time
+// mapped microsecond-for-unit onto the trace clock. Span IDs, parent
+// links, and attributes ride in args. Like WriteSpans the output is
+// deterministic byte for byte.
+func (r *Registry) WriteChromeTrace(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	bw.WriteString(`{"displayTimeUnit":"ms","traceEvents":[`)
+	bw.WriteString("\n")
+	bw.WriteString(`{"name":"process_name","ph":"M","pid":1,"tid":0,"args":{"name":"ffsage"}}`)
+	for tid, t := range r.spanStreams() {
+		fmt.Fprintf(bw, ",\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":%d,\"args\":{\"name\":%s}}",
+			tid+1, jsonString(t.name))
+		t.mu.Lock()
+		for i := 0; i < len(t.ring); i++ {
+			sp := &t.ring[(t.start+i)%len(t.ring)]
+			fmt.Fprintf(bw, ",\n{\"name\":%s,\"cat\":%s,\"ph\":\"X\",\"ts\":%s,\"dur\":%s,\"pid\":1,\"tid\":%d,\"args\":{\"id\":%d,\"parent\":%d",
+				jsonString(sp.Name), jsonString(t.name),
+				formatFloat(sp.Start*1e6), formatFloat((sp.End-sp.Start)*1e6), tid+1, sp.ID, sp.Parent)
+			for _, a := range sp.Attrs {
+				bw.WriteByte(',')
+				bw.WriteString(jsonString(a.Key))
+				bw.WriteByte(':')
+				writeAttrValue(bw, a.Value)
+			}
+			bw.WriteString("}}")
+		}
+		t.mu.Unlock()
+	}
+	bw.WriteString("\n]}\n")
+	return bw.Flush()
+}
+
+// writeAttrValue renders one attribute payload as its JSON value.
+func writeAttrValue(w *bufio.Writer, v attrValue) {
+	switch v.kind {
+	case 'i':
+		w.WriteString(strconv.FormatInt(v.i, 10))
+	case 'f':
+		w.WriteString(formatFloat(v.f))
+	case 's':
+		w.WriteString(jsonString(v.s))
+	case 'b':
+		w.WriteString(strconv.FormatBool(v.b))
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"ffsage/internal/experiments"
 	"ffsage/internal/ffs"
 	"ffsage/internal/layout"
+	"ffsage/internal/obs"
 	"ffsage/internal/trace"
 	"ffsage/internal/workload"
 )
@@ -27,6 +28,7 @@ func All() []Benchmark {
 		{Name: "ffs.alloc.realloc", Quick: true, Setup: setupAlloc(core.Realloc{})},
 		{Name: "aging.day", Quick: true, Setup: setupAgingDay},
 		{Name: "replay.steady", Quick: true, Setup: setupReplaySteady, CheckAllocs: true, MaxAllocsPerOp: 0},
+		{Name: "span.emit", Quick: true, Setup: setupSpanEmit, CheckAllocs: true, MaxAllocsPerOp: 0},
 		{Name: "layout.rescan", Quick: true, Setup: setupLayoutRescan},
 		{Name: "layout.incremental", Quick: true, Setup: setupLayoutIncremental},
 		{Name: "disk.requests", Quick: true, Setup: setupDiskRequests},
@@ -188,6 +190,41 @@ func setupReplaySteady(fx *Fixture) (*Instance, error) {
 		return nil, err
 	}
 	return &Instance{Op: op, Units: int64(len(ops))}, nil
+}
+
+// setupSpanEmit measures the span tracer's steady-state emission path:
+// nested Start/End pairs with mixed-type attributes against a warmed
+// ring, the shape PublishResult drives per replay op. After warmup the
+// ring slots, the open stack, and each slot's attr backing are at
+// capacity and every emission reuses them; the benchmark carries a hard
+// allocs/op budget of 0 that -check enforces, mirroring
+// TestSpanEmitSteadyStateAllocs.
+func setupSpanEmit(fx *Fixture) (*Instance, error) {
+	tr := obs.NewRegistry().SpanTracerCap("bench", 256)
+	const cycles = 512
+	op := func() error {
+		t := 0.0
+		for i := 0; i < cycles; i++ {
+			tr.Start(t, "outer", obs.I("file", int64(i)), obs.S("kind", "create"))
+			tr.Start(t+0.25, "alloc", obs.F("bytes", 4096))
+			tr.End(t+0.5, obs.B("contig", true))
+			tr.End(t + 1)
+			t += 1
+		}
+		if tr.OpenDepth() != 0 {
+			return fmt.Errorf("span.emit: unbalanced cycle left %d spans open", tr.OpenDepth())
+		}
+		return nil
+	}
+	// Two warmup ops: the first grows the ring to capacity, the second
+	// lets recycled attr backings settle.
+	if err := op(); err != nil {
+		return nil, err
+	}
+	if err := op(); err != nil {
+		return nil, err
+	}
+	return &Instance{Op: op, Units: 2 * cycles}, nil
 }
 
 // steadyCycle builds one state-neutral op cycle: create a working set

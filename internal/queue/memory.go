@@ -183,6 +183,9 @@ func (m *Memory) Running() []Record {
 	return out
 }
 
+// Err implements Queue. The in-memory backend cannot wedge.
+func (m *Memory) Err() error { return nil }
+
 // Close implements Queue. The in-memory backend has nothing to release.
 func (m *Memory) Close() error { return nil }
 

@@ -101,6 +101,11 @@ type Queue interface {
 	// Running returns the in-flight jobs sorted by ID — the set a
 	// restarted daemon must resume.
 	Running() []Record
+	// Err reports whether the backend can still accept writes: nil when
+	// healthy, the wedging failure otherwise (a WAL whose log hit an
+	// append or sync error refuses all further mutations). This is the
+	// daemon's readiness signal.
+	Err() error
 	// Close releases backend resources. The queue must not be used
 	// afterwards.
 	Close() error

@@ -321,6 +321,19 @@ func (w *WAL) Depth() int { return w.mem.Depth() }
 // Running implements Queue.
 func (w *WAL) Running() []Record { return w.mem.Running() }
 
+// Path returns the log file's path (for operational reporting — the
+// daemon's /metrics gauges the file's size).
+func (w *WAL) Path() string { return w.path }
+
+// Err implements Queue: nil while the log accepts writes, the wedging
+// append/sync failure once it stopped. A wedged WAL still serves reads,
+// so the daemon can report itself unready while staying inspectable.
+func (w *WAL) Err() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.broken
+}
+
 // Close implements Queue. It does not drain anything: a WAL closed with
 // jobs in flight reopens into exactly that state, which is the point.
 func (w *WAL) Close() error {

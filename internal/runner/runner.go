@@ -164,7 +164,31 @@ func (g *Group) Wait() ([]Stat, error) {
 		firstErr = firstCancel
 	}
 	obs.Default.AppendJobs(g.stats)
+	publishOps(g.stats)
 	return g.stats, firstErr
+}
+
+// runnerSecondsBounds buckets job wall time from milliseconds to
+// minutes — wide enough for both sweep points and whole aging runs.
+var runnerSecondsBounds = []float64{0.001, 0.01, 0.1, 1, 10, 60, 600}
+
+// publishOps records finished jobs' wall-clock telemetry in the
+// process-wide operational registry (obs.Ops()), where the daemon's
+// /metrics endpoint reads it. This is the one place runner touches
+// wall-time metrics; the deterministic registry never sees them.
+func publishOps(stats []Stat) {
+	ops := obs.Ops()
+	done := ops.Counter("runner_jobs_total")
+	failed := ops.Counter("runner_jobs_failed_total")
+	h := ops.Histogram("runner_job_seconds", runnerSecondsBounds)
+	for _, st := range stats {
+		done.Inc()
+		if st.Err != nil {
+			failed.Inc()
+		}
+		s := st.Wall.Seconds()
+		h.Observe(s, s)
+	}
 }
 
 // Run is the common fan-out: invoke fn(i) for i in [0, n) on the pool

@@ -53,6 +53,36 @@ echo "== reference run (uninterrupted)"
 start_daemon "$WORK/ref"
 curl -sf -d "$SPEC" "$URL/jobs" > /dev/null
 wait_state smoke done
+
+echo "== operational surface: health, readiness, metrics exposition"
+curl -sf "$URL/healthz" | grep -qx ok
+curl -sf "$URL/readyz" | grep -qx ok
+curl -sf "$URL/metrics" > "$WORK/metrics.txt"
+grep -q '^# TYPE agesrv_jobs_submitted_total counter$' "$WORK/metrics.txt"
+grep -q '^agesrv_jobs_submitted_total 1$' "$WORK/metrics.txt"
+grep -q '^agesrv_jobs{state="done"} 1$' "$WORK/metrics.txt"
+grep -q '^agesrv_wal_bytes ' "$WORK/metrics.txt"
+grep -q '^agesrv_http_request_seconds_bucket{path="/jobs",le="+Inf"} ' "$WORK/metrics.txt"
+# Every non-comment line must be "name value" or "name{labels} value".
+# The label match is greedy because label values may themselves
+# contain braces (the bounded "/jobs/{id}" route label).
+if grep -vE '^(# (TYPE|HELP) |[a-zA-Z_:][a-zA-Z0-9_:]*(\{.*\})? (-?[0-9][0-9eE.+-]*|[+-]Inf|NaN)$)' "$WORK/metrics.txt"; then
+    echo "malformed exposition line(s) above" >&2
+    exit 1
+fi
+# Responses carry request ids.
+curl -sfi "$URL/healthz" | grep -qi '^x-request-id:'
+
+echo "== artifact endpoints: spans and the streamed image"
+curl -sf "$URL/jobs/smoke/spans" > "$WORK/spans.get"
+cmp "$WORK/spans.get" "$WORK/ref/jobs/smoke/spans.jsonl"
+head -1 "$WORK/spans.get" | grep -q '"header":"spans"'
+curl -sf -D "$WORK/image.hdr" "$URL/jobs/smoke/image" > "$WORK/image.get"
+cmp "$WORK/image.get" "$WORK/ref/jobs/smoke/image.ffi"
+grep -qi '^content-type: application/octet-stream' "$WORK/image.hdr"
+want_len=$(wc -c < "$WORK/image.get" | tr -d ' ')
+grep -qi "^content-length: $want_len" "$WORK/image.hdr"
+
 kill -TERM "$DAEMON_PID" && wait "$DAEMON_PID"
 DAEMON_PID=
 
@@ -77,7 +107,7 @@ kill -TERM "$DAEMON_PID" && wait "$DAEMON_PID"
 DAEMON_PID=
 
 echo "== diff artifacts against the uninterrupted run"
-for f in image.ffi metrics.txt events.jsonl result.json; do
+for f in image.ffi metrics.txt events.jsonl spans.jsonl result.json; do
     cmp "$WORK/ref/jobs/smoke/$f" "$WORK/kill/jobs/smoke/$f"
 done
 echo "OK: resumed run is byte-identical to the uninterrupted run"
