@@ -10,19 +10,18 @@ import (
 	"fmt"
 	"math"
 	"os"
-	"strings"
 
 	"ffsage/internal/aging"
-	"ffsage/internal/core"
 	"ffsage/internal/faults"
 	"ffsage/internal/ffs"
+	ffspolicy "ffsage/internal/policy"
 	"ffsage/internal/trace"
 )
 
 func main() {
 	var (
 		wlPath   = flag.String("workload", "workload.ffw", "workload file (binary or text)")
-		policy   = flag.String("policy", "realloc", "allocation policy: ffs or realloc")
+		policy   = flag.String("policy", "realloc", "allocation policy (any registered name, e.g. ffs, realloc, ffs+bestfit, ssd)")
 		imageOut = flag.String("image", "", "save the aged image here")
 		csvOut   = flag.String("csv", "", "write day,layout,utilization CSV here")
 		check    = flag.Int("check", 0, "run the consistency checker every N days (0 = off)")
@@ -46,14 +45,7 @@ func main() {
 }
 
 func pickPolicy(name string) (ffs.Policy, error) {
-	switch strings.ToLower(name) {
-	case "ffs", "orig", "original":
-		return core.Original{}, nil
-	case "realloc", "ffs+realloc":
-		return core.Realloc{}, nil
-	default:
-		return nil, fmt.Errorf("unknown policy %q (want ffs or realloc)", name)
-	}
+	return ffspolicy.Resolve(name)
 }
 
 func run(wlPath, policyName, imageOut, csvOut string, check int, arena, faultStr string, quiet bool) error {

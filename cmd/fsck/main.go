@@ -16,17 +16,16 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"strings"
 
-	"ffsage/internal/core"
 	"ffsage/internal/ffs"
 	"ffsage/internal/obs"
+	ffspolicy "ffsage/internal/policy"
 	"ffsage/internal/trace"
 )
 
 func main() {
 	var (
-		policy  = flag.String("policy", "realloc", "allocation policy the image was aged under: ffs or realloc")
+		policy  = flag.String("policy", "realloc", "allocation policy the image was aged under (any registered name)")
 		repair  = flag.Bool("repair", false, "repair inconsistencies instead of only reporting them")
 		out     = flag.String("o", "", "write the (repaired) image here")
 		metrics = flag.String("metrics", "", "write a metrics snapshot (check outcome, repair action counts) to this file")
@@ -81,14 +80,7 @@ func publishRepair(rep *ffs.RepairReport) {
 }
 
 func pickPolicy(name string) (ffs.Policy, error) {
-	switch strings.ToLower(name) {
-	case "ffs", "orig", "original":
-		return core.Original{}, nil
-	case "realloc", "ffs+realloc":
-		return core.Realloc{}, nil
-	default:
-		return nil, fmt.Errorf("unknown policy %q (want ffs or realloc)", name)
-	}
+	return ffspolicy.Resolve(name)
 }
 
 // imageBytes reads path and unwraps a checkpoint container when the

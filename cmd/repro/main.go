@@ -6,7 +6,7 @@
 // Usage:
 //
 //	repro [-seed N] [-quick] [-only fig2,table2] [-ablations]
-//	      [-busstudy] [-profiles] [-j N] [-slowscore]
+//	      [-busstudy] [-profiles] [-policies all|a,b] [-j N] [-slowscore]
 //	      [-faults spec] [-checkpoint-every K] [-checkpoint-dir dir] [-resume]
 //	      [-md out.md] [-svg dir] [-metrics out.metrics] [-events out.jsonl]
 //	      [-spans out.trace.json] [-spans-jsonl out.spans.jsonl]
@@ -41,6 +41,7 @@ import (
 	"ffsage/internal/faults"
 	"ffsage/internal/ffs"
 	"ffsage/internal/obs"
+	"ffsage/internal/policy"
 	"ffsage/internal/runner"
 	"ffsage/internal/stats"
 	"ffsage/internal/trace"
@@ -54,6 +55,7 @@ func main() {
 		ablations  = flag.Bool("ablations", false, "also run the A1/A2/A4/A5 ablations")
 		profiles   = flag.Bool("profiles", false, "also run the §6 workload-profile study")
 		busStudy   = flag.Bool("busstudy", false, "also run the §5.1 bus-bandwidth study")
+		policies   = flag.String("policies", "", "also run the N-way policy tournament: all, or comma-separated registered names")
 		jobs       = flag.Int("j", 0, "max concurrent jobs (0 = GOMAXPROCS)")
 		slowScore  = flag.Bool("slowscore", false, "compute daily layout scores by full rescan (cross-check of the incremental counters)")
 		arena      = flag.String("arena", "on", "File-recycling arena for the aging replays: on or off (off is a cross-check; results are identical)")
@@ -88,7 +90,7 @@ func main() {
 		defer pprof.StopCPUProfile()
 	}
 	err := run(options{seed: *seed, quick: *quick, only: *only, ablations: *ablations,
-		profiles: *profiles, busStudy: *busStudy, slowScore: *slowScore, arena: *arena,
+		profiles: *profiles, busStudy: *busStudy, policies: *policies, slowScore: *slowScore, arena: *arena,
 		faults: *faultSpec, ckptEvery: *ckptEvery, ckptDir: *ckptDir, resume: *resume,
 		mdPath: *mdPath, svgDir: *svgDir, metrics: *metricsOut, events: *eventsOut,
 		spans: *spansOut, spansJSONL: *spansJSONL})
@@ -158,6 +160,7 @@ type options struct {
 	ablations  bool
 	profiles   bool
 	busStudy   bool
+	policies   string
 	slowScore  bool
 	arena      string
 	faults     string
@@ -510,6 +513,11 @@ func run(o options) error {
 			" the file system's clustering does at allocation time — recovers both" +
 			" costs, and it converges to the same ceiling on either image")
 	}
+	if o.policies != "" {
+		if err := runTournament(r, cfg, o.policies, scale); err != nil {
+			return err
+		}
+	}
 	if o.profiles {
 		r.section("Study A7: workload profiles (the paper's §6 future work)")
 		rs, err := experiments.RunProfiles(cfg)
@@ -640,6 +648,37 @@ func fmtBytes(b uint64) string {
 		return fmt.Sprintf("%.1fKB", float64(b)/(1<<10))
 	}
 	return fmt.Sprintf("%dB", b)
+}
+
+// runTournament runs the N-way policy tournament and emits its report
+// as a section. The rendered lines come from the same fragment-based
+// writer as cmd/tournament, so this section is byte-identical to that
+// command's output (and to a CI fan-in assembly) for the same inputs.
+func runTournament(r *report, cfg experiments.Config, spec, scale string) error {
+	names := policy.Names()
+	if spec != "all" {
+		names = nil
+		for _, n := range strings.Split(spec, ",") {
+			if n = strings.TrimSpace(n); n != "" {
+				names = append(names, n)
+			}
+		}
+	}
+	pols, err := experiments.RegisteredPolicies(names...)
+	if err != nil {
+		return err
+	}
+	r.section(fmt.Sprintf("Policy tournament: %d-way comparison", len(pols)))
+	entries, err := experiments.Tournament(cfg, pols...)
+	if err != nil {
+		return err
+	}
+	var buf strings.Builder
+	if err := experiments.RenderTournament(&buf, scale, cfg.Seed, cfg.WorkloadCfg.Days, entries); err != nil {
+		return err
+	}
+	r.table(strings.Split(strings.TrimRight(buf.String(), "\n"), "\n"))
+	return nil
 }
 
 func runAblations(r *report, cfg experiments.Config) error {

@@ -1,0 +1,145 @@
+// Command tournament runs the N-way allocation-policy tournament: it
+// ages one file-system image per registered policy through the same
+// seeded workload, scores every image, runs the sequential and
+// hot-file benchmarks on each, and prints one comparative report.
+//
+// Usage:
+//
+//	tournament -list
+//	tournament [-seed N] [-quick] [-days N] [-j N] [-policies all|a,b]
+//	           [-o report.txt] [-fragments dir]
+//	tournament -assemble dir [-seed N] [-quick] [-days N] [-policies ...]
+//
+// The report is byte-identical for every -j level. It also decomposes
+// into per-policy fragments (-fragments writes one <slug>.frag per
+// policy): the CI policy matrix runs one leg per policy, uploads each
+// leg's fragment, and the fan-in job reassembles them with -assemble —
+// producing, by construction, the same bytes as a single-process run
+// with the same flags. -assemble performs no simulation; it only needs
+// the flags that shape the report header.
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"ffsage/internal/experiments"
+	"ffsage/internal/policy"
+	"ffsage/internal/runner"
+)
+
+func main() {
+	var (
+		list      = flag.Bool("list", false, "print the registered policy names, one per line, and exit")
+		seed      = flag.Int64("seed", 1996, "workload generation seed")
+		quick     = flag.Bool("quick", false, "quick scale (128 MB file system) instead of paper scale")
+		days      = flag.Int("days", 0, "override the aging period in simulated days (0 = the scale's default)")
+		jobs      = flag.Int("j", 0, "max concurrent jobs (0 = GOMAXPROCS)")
+		policies  = flag.String("policies", "all", "comma-separated policy names, or all")
+		outPath   = flag.String("o", "", "write the report to this file as well as stdout")
+		fragDir   = flag.String("fragments", "", "also write each policy's report fragment to <dir>/<slug>.frag")
+		assemble  = flag.String("assemble", "", "assemble the report from the fragments in this directory instead of simulating")
+		slowScore = flag.Bool("slowscore", false, "compute daily layout scores by full rescan (cross-check)")
+	)
+	flag.Parse()
+	if *list {
+		for _, name := range policy.Names() {
+			fmt.Println(name)
+		}
+		return
+	}
+	if *jobs > 0 {
+		runner.SetWorkers(*jobs)
+	}
+	if err := run(*seed, *quick, *days, *policies, *outPath, *fragDir, *assemble, *slowScore); err != nil {
+		fmt.Fprintln(os.Stderr, "tournament:", err)
+		os.Exit(1)
+	}
+}
+
+// selectPolicies resolves the -policies flag to registered names in a
+// deterministic order: registry order for "all", flag order otherwise.
+func selectPolicies(spec string) ([]string, error) {
+	if spec == "" || spec == "all" {
+		return policy.Names(), nil
+	}
+	var names []string
+	for _, n := range strings.Split(spec, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			names = append(names, n)
+		}
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("-policies %q selects nothing", spec)
+	}
+	return names, nil
+}
+
+func run(seed int64, quick bool, days int, policies, outPath, fragDir, assemble string, slowScore bool) error {
+	names, err := selectPolicies(policies)
+	if err != nil {
+		return err
+	}
+	cfg := experiments.Full(seed)
+	scale := "full scale"
+	if quick {
+		cfg = experiments.Quick(seed)
+		scale = "quick scale"
+	}
+	cfg.SlowScore = slowScore
+	if days > 0 {
+		cfg.WorkloadCfg.Days = days
+	}
+	if cfg.HotWindow >= cfg.WorkloadCfg.Days {
+		cfg.HotWindow = cfg.WorkloadCfg.Days / 2
+	}
+
+	var report bytes.Buffer
+	if assemble != "" {
+		fragments := make([][]byte, len(names))
+		for i, name := range names {
+			frag, err := os.ReadFile(filepath.Join(assemble, policy.Slug(name)+".frag"))
+			if err != nil {
+				return fmt.Errorf("missing fragment for %s: %w", name, err)
+			}
+			fragments[i] = frag
+		}
+		if err := experiments.WriteTournamentReport(&report, scale, seed, cfg.WorkloadCfg.Days, names, fragments); err != nil {
+			return err
+		}
+	} else {
+		pols, err := experiments.RegisteredPolicies(names...)
+		if err != nil {
+			return err
+		}
+		entries, err := experiments.Tournament(cfg, pols...)
+		if err != nil {
+			return err
+		}
+		if fragDir != "" {
+			if err := os.MkdirAll(fragDir, 0o777); err != nil {
+				return err
+			}
+			for i := range entries {
+				path := filepath.Join(fragDir, policy.Slug(entries[i].Name)+".frag")
+				if err := os.WriteFile(path, entries[i].Fragment(cfg.WorkloadCfg.Days), 0o666); err != nil {
+					return err
+				}
+			}
+		}
+		if err := experiments.RenderTournament(&report, scale, seed, cfg.WorkloadCfg.Days, entries); err != nil {
+			return err
+		}
+	}
+	os.Stdout.Write(report.Bytes())
+	if outPath != "" {
+		if err := os.WriteFile(outPath, report.Bytes(), 0o666); err != nil {
+			return err
+		}
+	}
+	return nil
+}

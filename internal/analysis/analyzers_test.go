@@ -9,10 +9,10 @@ func TestDetrandFixtures(t *testing.T) {
 	// but NOT on the TimeOK allowlist — wall-clock reads pass only
 	// under a justified //lint:ignore in its measurement core.
 	a := Detrand(DetrandConfig{
-		Packages: []string{"detrand/a", "detrand/bench", "detrand/obs", "detrand/perfbench"},
+		Packages: []string{"detrand/a", "detrand/bench", "detrand/obs", "detrand/perfbench", "detrand/policy"},
 		TimeOK:   []string{"detrand/bench"},
 	})
-	for _, path := range []string{"detrand/a", "detrand/bench", "detrand/other", "detrand/obs", "detrand/perfbench"} {
+	for _, path := range []string{"detrand/a", "detrand/bench", "detrand/other", "detrand/obs", "detrand/perfbench", "detrand/policy"} {
 		t.Run(path, func(t *testing.T) { runFixture(t, a, path) })
 	}
 }

@@ -32,6 +32,11 @@ func DefaultDetrandConfig() DetrandConfig {
 			"ffsage/internal/core",
 			"ffsage/internal/disk",
 			"ffsage/internal/layout",
+			// Allocation policies decide block placement; a wall-clock
+			// or global-rand read here would make aged images differ
+			// run to run and break the tournament's byte-identical
+			// report guarantee.
+			"ffsage/internal/policy",
 			"ffsage/internal/stats",
 			"ffsage/internal/experiments",
 			"ffsage/internal/bench",

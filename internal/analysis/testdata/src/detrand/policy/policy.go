@@ -1,0 +1,54 @@
+// Package policy is a detrand fixture mirroring ffsage/internal/policy:
+// allocation policies that decide where a file's blocks land. Placement
+// must depend only on the file system's state and the caller's seeded
+// generator — a policy that jitters placement with the global generator
+// or tie-breaks on the wall clock would age a different image every run
+// and break the tournament's byte-identical report guarantee.
+package policy
+
+import (
+	"math/rand"
+	"time"
+)
+
+type fs struct {
+	nextFree int
+}
+
+type file struct {
+	blocks []int
+}
+
+// flushNear is the sanctioned shape: placement is a pure function of
+// file-system state.
+func flushNear(f *fs, fl *file, n int) {
+	for i := 0; i < n; i++ {
+		fl.blocks = append(fl.blocks, f.nextFree)
+		f.nextFree++
+	}
+}
+
+// flushJittered perturbs placement with the global generator — flagged.
+func flushJittered(f *fs, fl *file, n int) {
+	for i := 0; i < n; i++ {
+		slot := f.nextFree + rand.Intn(2) // want `rand\.Intn draws from the process-global generator`
+		fl.blocks = append(fl.blocks, slot)
+		f.nextFree = slot + 1
+	}
+}
+
+// tieBreak picks between two equal runs by the wall clock — flagged.
+func tieBreak(a, b int) int {
+	if time.Now().UnixNano()%2 == 0 { // want `time\.Now reads the wall clock and breaks replay determinism`
+		return a
+	}
+	return b
+}
+
+// shuffledProbe is fine: the generator is explicitly seeded by the
+// caller's replay seed, not the process-global one.
+func shuffledProbe(seed int64, cgs []int) []int {
+	r := rand.New(rand.NewSource(seed))
+	r.Shuffle(len(cgs), func(i, j int) { cgs[i], cgs[j] = cgs[j], cgs[i] })
+	return cgs
+}

@@ -7,6 +7,7 @@ import (
 
 	"ffsage/internal/aging"
 	"ffsage/internal/ffs"
+	"ffsage/internal/policy"
 	"ffsage/internal/trace"
 	"ffsage/internal/workload"
 )
@@ -66,10 +67,17 @@ func workloadKey(wc workload.Config, nc workload.NFSTraceConfig) string {
 	return fmt.Sprintf("%+v|%+v", wc, nc)
 }
 
-// policyKey identifies a policy by type and flag values, not just its
-// display name, so ablation variants never collide.
+// policyKey identifies a policy in the aged-image cache key. A
+// registered policy is keyed by its registry canonical name —
+// collision-free because registration rejects duplicate and mismatched
+// Name() strings. Anything else (ablation variants, test doubles) is
+// keyed by type and flag values, not just its display name, so ad-hoc
+// variants never collide either.
 func policyKey(p ffs.Policy) string {
-	return fmt.Sprintf("%s|%T%+v", p.Name(), p, p)
+	if name, ok := policy.CanonicalName(p); ok {
+		return "reg:" + name
+	}
+	return fmt.Sprintf("adhoc:%s|%T%+v", p.Name(), p, p)
 }
 
 // CachedBuild returns the (possibly shared) workload build for the

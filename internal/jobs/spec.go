@@ -11,11 +11,10 @@ package jobs
 
 import (
 	"fmt"
-	"strings"
 
-	"ffsage/internal/core"
 	"ffsage/internal/faults"
 	"ffsage/internal/ffs"
+	"ffsage/internal/policy"
 	"ffsage/internal/trace"
 	"ffsage/internal/workload"
 )
@@ -34,8 +33,10 @@ type Spec struct {
 	// Client-chosen IDs make submission idempotent: re-submitting an
 	// existing ID is rejected with 409 rather than running twice.
 	ID string `json:"id,omitempty"`
-	// Policy is the allocation policy: "ffs" (the original allocator)
-	// or "realloc" (the default).
+	// Policy is the allocation policy, resolved against the
+	// internal/policy registry: "ffs", "ffs+realloc" (the default),
+	// "ffs+extent", "ffs+firstfit", "ffs+bestfit", "ssd", ... The
+	// legacy spellings "orig"/"original" and "realloc" still work.
 	Policy string `json:"policy,omitempty"`
 	// Days is the number of simulated days to age (required).
 	Days int `json:"days"`
@@ -166,16 +167,15 @@ func checkID(id string) error {
 	return nil
 }
 
-// policy resolves the named allocation policy.
+// policy resolves the named allocation policy against the registry in
+// internal/policy (accepting the legacy spellings this API took before
+// the registry existed: "orig", "realloc", ...).
 func (sp *Spec) policy() (ffs.Policy, error) {
-	switch strings.ToLower(sp.Policy) {
-	case "ffs", "orig", "original":
-		return core.Original{}, nil
-	case "realloc", "ffs+realloc":
-		return core.Realloc{}, nil
-	default:
-		return nil, fmt.Errorf("jobs: unknown policy %q (want ffs or realloc)", sp.Policy)
+	p, err := policy.Resolve(sp.Policy)
+	if err != nil {
+		return nil, fmt.Errorf("jobs: %w", err)
 	}
+	return p, nil
 }
 
 // params builds the simulated file system geometry.

@@ -14,6 +14,7 @@ import (
 	"ffsage/internal/ffs"
 	"ffsage/internal/layout"
 	"ffsage/internal/obs"
+	"ffsage/internal/policy"
 	"ffsage/internal/trace"
 	"ffsage/internal/workload"
 )
@@ -22,7 +23,7 @@ import (
 // entry measures a code path the reproduction actually exercises; the
 // Quick subset is what CI's bench-smoke job runs on each push.
 func All() []Benchmark {
-	return []Benchmark{
+	bs := []Benchmark{
 		{Name: "bitset.runscan", Quick: true, Setup: setupBitsetRunScan},
 		{Name: "ffs.alloc.ffs", Quick: true, Setup: setupAlloc(core.Original{})},
 		{Name: "ffs.alloc.realloc", Quick: true, Setup: setupAlloc(core.Realloc{})},
@@ -38,6 +39,63 @@ func All() []Benchmark {
 		{Name: "workload.build", Quick: false, Setup: setupWorkloadBuild},
 		{Name: "bench.seqsweep", Quick: false, Setup: setupSeqSweep},
 		{Name: "bench.hotfiles", Quick: false, Setup: setupHotFiles},
+	}
+	// One FlushCluster micro per registered policy (the benchmark name
+	// uses the slug, so -run regexes never meet a '+').
+	for _, name := range policy.Names() {
+		bs = append(bs, Benchmark{
+			Name:  "policy.flushcluster." + policy.Slug(name),
+			Quick: true,
+			Setup: setupFlushCluster(name),
+		})
+	}
+	return bs
+}
+
+// setupFlushCluster measures one policy's write-time relocation path: a
+// state-neutral cycle creating and deleting cluster-spanning files on a
+// clone of the aged (fragmented) micro image with the named policy
+// swapped in. Every create flushes full-block runs through the policy's
+// FlushCluster against an aged free map — the free-run scans, the
+// cluster claim, and the old-run frees are all on the measured path.
+func setupFlushCluster(name string) func(fx *Fixture) (*Instance, error) {
+	return func(fx *Fixture) (*Instance, error) {
+		pol, err := policy.New(name)
+		if err != nil {
+			return nil, err
+		}
+		fsys := fx.AgedFFS.Fs.Clone().WithPolicy(pol)
+		// The aged image sits near the minfree reserve; the cycle's
+		// transient working set may legitimately dip into it.
+		fsys.IgnoreReserve = true
+		root := fsys.Root()
+		const perOp = 16
+		clusterBytes := int64(fx.Cfg.FsParams.MaxContig * fx.Cfg.FsParams.BlockSize)
+		op := func() error {
+			files := make([]*ffs.File, perOp)
+			for i := range files {
+				f, err := fsys.CreateFile(root, fmt.Sprintf("pb%02d", i), clusterBytes, 0)
+				if err != nil {
+					return err
+				}
+				files[i] = f
+			}
+			for _, f := range files {
+				if err := fsys.Delete(f); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		// Prime once: settles the arena and directory tables, and proves
+		// the cycle is state-neutral enough to repeat.
+		if err := op(); err != nil {
+			return nil, err
+		}
+		if name != "ffs" && fsys.Stats.ClusterAttempts == 0 {
+			return nil, fmt.Errorf("policy.flushcluster.%s: relocation machinery never engaged", policy.Slug(name))
+		}
+		return &Instance{Op: op, Units: perOp}, nil
 	}
 }
 

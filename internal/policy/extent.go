@@ -1,0 +1,60 @@
+package policy
+
+import "ffsage/internal/ffs"
+
+// Extent is cluster-first allocation: a file's first flushed run is
+// treated as the opening of a reserved extent, placed at the head of
+// the largest free run available so subsequent clusters can grow it in
+// place. Later runs chain into the reservation when its next address
+// is free; when it is not (the reservation died — another file claimed
+// the headroom), the run is re-homed at the head of the largest free
+// run still standing, opening a new reservation there.
+//
+// Unlike realloc, Extent engages for single-block runs too: the
+// reservation must be made at the first write, which for most files is
+// a one-block flush.
+type Extent struct{}
+
+// Name implements ffs.Policy.
+func (Extent) Name() string { return "ffs+extent" }
+
+// FlushCluster implements ffs.Policy.
+func (Extent) FlushCluster(fs *ffs.FileSystem, f *ffs.File, start, end int) {
+	n := end - start
+	if n <= 0 || n > fs.P.MaxContig {
+		return
+	}
+	fpb := fs.FragsPerBlock()
+	pref, cgIdx := fs.ReallocPref(f, start)
+	contiguous := f.RunIsContiguous(start, end, fpb)
+	if contiguous && pref != ffs.NilDaddr && f.Blocks[start] == pref {
+		return // growing inside the reserved extent
+	}
+	if contiguous && pref == ffs.NilDaddr {
+		if start > 0 {
+			return // section start: the mandatory seek breaks the extent
+		}
+		if fs.FreeRunAfter(f.Blocks[end-1], 1) > 0 {
+			return // first write landed with headroom: reservation holds
+		}
+		// First write landed in a dead end; re-home it.
+	}
+	fs.Stats.ClusterAttempts++
+	if pref != ffs.NilDaddr && fs.TryReallocRun(f, start, end, cgIdx, pref) {
+		return // chained into the reservation
+	}
+	// Reserve anew: find the group holding the largest free-run class
+	// still available (searching in hashalloc order from the chain
+	// target so reservations stay near their files), then take the
+	// head of that group's longest sufficient run.
+	for want := fs.P.MaxContig; want >= n; want-- {
+		cg := fs.FindClusterCg(cgIdx, want)
+		if cg < 0 {
+			continue
+		}
+		if b := fs.Cg(cg).FindFreeRun(n, ffs.LargestFit); b >= 0 {
+			fs.TryReallocRun(f, start, end, cg, fs.BlockAddr(cg, b))
+		}
+		return
+	}
+}

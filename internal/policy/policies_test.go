@@ -1,0 +1,96 @@
+package policy
+
+import (
+	"fmt"
+	"testing"
+
+	"ffsage/internal/ffs"
+	"ffsage/internal/layout"
+)
+
+// churn fragments the free map and then writes cluster-spanning files
+// through it: create a corpus, delete every other file, create a
+// second generation into the holes. Every FlushCluster path (chained,
+// contiguous, fragmented, re-homed) fires under this sequence.
+func churn(t *testing.T, fs *ffs.FileSystem) {
+	t.Helper()
+	root := fs.Root()
+	sizes := []int64{600, 12 << 10, 56 << 10, 120 << 10, 300 << 10}
+	var gen1 []*ffs.File
+	for i := 0; i < 60; i++ {
+		f, err := fs.CreateFile(root, fmt.Sprintf("a%03d", i), sizes[i%len(sizes)], 0)
+		if err != nil {
+			t.Fatalf("create a%03d: %v", i, err)
+		}
+		gen1 = append(gen1, f)
+	}
+	for i, f := range gen1 {
+		if i%2 == 0 {
+			if err := fs.Delete(f); err != nil {
+				t.Fatalf("delete gen1[%d]: %v", i, err)
+			}
+		}
+	}
+	for i := 0; i < 30; i++ {
+		if _, err := fs.CreateFile(root, fmt.Sprintf("b%03d", i), 120<<10, 1); err != nil {
+			t.Fatalf("create b%03d: %v", i, err)
+		}
+	}
+}
+
+// TestPoliciesKeepInvariants runs every registered policy through the
+// churn and requires a clean Check and agreement between the
+// incremental layout score and the full rescan — the per-policy core
+// of the tournament property test, at unit-test cost.
+func TestPoliciesKeepInvariants(t *testing.T) {
+	p := ffs.PaperParams()
+	p.SizeBytes = 16 << 20
+	p.NumCg = 4
+	for _, name := range Names() {
+		t.Run(Slug(name), func(t *testing.T) {
+			pol, err := New(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fs, err := ffs.NewFileSystem(p, pol)
+			if err != nil {
+				t.Fatal(err)
+			}
+			churn(t, fs)
+			if err := fs.Check(); err != nil {
+				t.Fatalf("Check after churn: %v", err)
+			}
+			if got, want := fs.LayoutScore(), layout.FsAggregate(fs); got != want {
+				t.Errorf("incremental layout score %v != rescan %v", got, want)
+			}
+			if name != "ffs" && fs.Stats.ClusterAttempts == 0 {
+				t.Errorf("%s: relocation machinery never engaged", name)
+			}
+		})
+	}
+}
+
+// TestRelocatingPoliciesMove pins that each relocating contender
+// actually performs moves under fragmentation (a policy that silently
+// never fires would still pass the invariant test above).
+func TestRelocatingPoliciesMove(t *testing.T) {
+	p := ffs.PaperParams()
+	p.SizeBytes = 16 << 20
+	p.NumCg = 4
+	for _, name := range []string{"ffs+realloc", "ffs+extent", "ffs+firstfit", "ffs+bestfit", "ssd"} {
+		t.Run(Slug(name), func(t *testing.T) {
+			pol, err := New(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fs, err := ffs.NewFileSystem(p, pol)
+			if err != nil {
+				t.Fatal(err)
+			}
+			churn(t, fs)
+			if fs.Stats.ClusterMoves == 0 {
+				t.Errorf("%s performed no cluster moves under fragmentation", name)
+			}
+		})
+	}
+}

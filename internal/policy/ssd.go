@@ -1,0 +1,42 @@
+package policy
+
+import "ffsage/internal/ffs"
+
+// SSD is a seek-free cost-model policy: on flash there is no
+// rotational latency and no cylinder distance, so the only layout
+// property worth paying relocation bookkeeping for is run contiguity —
+// contiguous runs become single large transfer commands, which is
+// where flash bandwidth comes from. The policy therefore ignores every
+// rotational input the paper's policies honour: it never chains a run
+// after the file's previous cluster (inter-cluster adjacency buys
+// nothing without a disk arm), and it scans cylinder groups in flat
+// index order rather than the quadratic-rehash order FFS uses to
+// spread seeks (see EXPERIMENTS.md for why this deliberately breaks
+// the paper's assumptions).
+type SSD struct{}
+
+// Name implements ffs.Policy.
+func (SSD) Name() string { return "ssd" }
+
+// FlushCluster implements ffs.Policy: if the run is internally
+// fragmented, move it into the tightest free run anywhere on the
+// device. Single-block runs are already maximal transfers and are
+// never moved.
+func (SSD) FlushCluster(fs *ffs.FileSystem, f *ffs.File, start, end int) {
+	n := end - start
+	if n <= 1 || n > fs.P.MaxContig {
+		return
+	}
+	if f.RunIsContiguous(start, end, fs.FragsPerBlock()) {
+		return
+	}
+	fs.Stats.ClusterAttempts++
+	for cg := 0; cg < fs.NumCg(); cg++ {
+		b := fs.Cg(cg).FindFreeRun(n, ffs.BestFit)
+		if b < 0 {
+			continue
+		}
+		fs.TryReallocRun(f, start, end, cg, fs.BlockAddr(cg, b))
+		return
+	}
+}
